@@ -1,0 +1,215 @@
+package multiclock
+
+// One benchmark per table and figure of the paper, each regenerating the
+// corresponding result through the evaluation harness, plus
+// microbenchmarks of the simulator's hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks execute in quick mode (compressed ops and intervals;
+// see internal/bench's time-scaling note) so the whole suite completes in
+// minutes; use cmd/mcbench for full-scale runs.
+
+import (
+	"strings"
+	"testing"
+
+	"multiclock/internal/bench"
+	"multiclock/internal/kvstore"
+	"multiclock/internal/lru"
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/pagetable"
+	"multiclock/internal/policy"
+	"multiclock/internal/sim"
+	"multiclock/internal/ycsb"
+)
+
+// newBenchStore builds a store with the evaluation's item cost model.
+func newBenchStore(m *machine.Machine, items int) *kvstore.Store {
+	cfg := kvstore.DefaultConfig(items)
+	cfg.ItemTouches = 8
+	return kvstore.New(m, cfg)
+}
+
+// benchExperiment runs one experiment per iteration and sanity-checks the
+// output.
+func benchExperiment(b *testing.B, name string, mustContain string) {
+	b.Helper()
+	opt := bench.Options{Quick: true, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		out, err := bench.Run(name, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(out, mustContain) {
+			b.Fatalf("experiment %s output missing %q:\n%s", name, mustContain, out)
+		}
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+func BenchmarkFig1Heatmaps(b *testing.B)  { benchExperiment(b, "fig1", "heatmap") }
+func BenchmarkFig2Frequency(b *testing.B) { benchExperiment(b, "fig2", "multi-access") }
+func BenchmarkTable1(b *testing.B)        { benchExperiment(b, "table1", "multiclock") }
+func BenchmarkFig5YCSB(b *testing.B)      { benchExperiment(b, "fig5", "workload") }
+func BenchmarkFig6GAPBS(b *testing.B)     { benchExperiment(b, "fig6", "SSSP") }
+func BenchmarkFig7MemoryMode(b *testing.B) {
+	benchExperiment(b, "fig7", "memory-mode")
+}
+func BenchmarkFig8Promotions(b *testing.B) { benchExperiment(b, "fig8", "promoted") }
+func BenchmarkFig9Reaccess(b *testing.B)   { benchExperiment(b, "fig9", "re-accessed") }
+func BenchmarkFig10ScanInterval(b *testing.B) {
+	benchExperiment(b, "fig10", "interval")
+}
+func BenchmarkAblationPromoteList(b *testing.B) {
+	benchExperiment(b, "ablation-promote", "recency+frequency")
+}
+func BenchmarkAblationScanBatch(b *testing.B) {
+	benchExperiment(b, "ablation-batch", "1024")
+}
+func BenchmarkAblationRatio(b *testing.B) {
+	benchExperiment(b, "ablation-ratio", "1:4")
+}
+func BenchmarkAblationWriteAware(b *testing.B) {
+	benchExperiment(b, "ablation-write", "write-biased")
+}
+func BenchmarkAblationAMP(b *testing.B) {
+	benchExperiment(b, "ablation-amp", "amp-lfu")
+}
+func BenchmarkAblationGranularity(b *testing.B) {
+	benchExperiment(b, "ablation-granularity", "thermostat")
+}
+func BenchmarkAblationMultiProc(b *testing.B) {
+	benchExperiment(b, "ablation-multiproc", "late/early")
+}
+func BenchmarkAblationTHP(b *testing.B) {
+	benchExperiment(b, "ablation-thp", "2 MiB")
+}
+
+// --- simulator hot-path microbenchmarks ---
+
+func microMachine(p machine.Policy) *machine.Machine {
+	cfg := machine.DefaultConfig()
+	cfg.Mem.DRAMNodes = []int{4096}
+	cfg.Mem.PMNodes = []int{16384}
+	cfg.OpCost = 0
+	return machine.New(cfg, p)
+}
+
+type noPolicy struct{ machine.Base }
+
+func (noPolicy) Name() string { return "null" }
+
+// BenchmarkAccessHotPath measures the cost of one simulated memory access
+// to a resident page (the simulator's innermost loop).
+func BenchmarkAccessHotPath(b *testing.B) {
+	m := microMachine(&noPolicy{})
+	as := m.NewSpace()
+	v := as.Mmap(1024, false, "x")
+	for i := 0; i < 1024; i++ {
+		m.Access(as, v.Start+pagetable.VPN(i), false)
+	}
+	rng := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Access(as, v.Start+pagetable.VPN(rng.Intn(1024)), false)
+	}
+}
+
+// BenchmarkPageFault measures demand-paging cost (allocation, PTE install,
+// LRU insert).
+func BenchmarkPageFault(b *testing.B) {
+	m := microMachine(&noPolicy{})
+	as := m.NewSpace()
+	v := as.Mmap(1<<20, false, "huge")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vpn := v.Start + pagetable.VPN(i%4000)
+		m.Access(as, vpn, false)
+		m.Unmap(as, vpn)
+	}
+}
+
+// BenchmarkScanCycle measures one CLOCK pass over a populated vec.
+func BenchmarkScanCycle(b *testing.B) {
+	vec := lru.NewVec(0)
+	pages := make([]*mem.Page, 8192)
+	for i := range pages {
+		pages[i] = &mem.Page{}
+		vec.Add(pages[i])
+	}
+	rng := sim.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Touch a fraction like real scans see.
+		for j := 0; j < 256; j++ {
+			pages[rng.Intn(len(pages))].Accessed = true
+		}
+		vec.ScanCycle(1024)
+	}
+}
+
+// BenchmarkMigration measures a promote+demote round trip.
+func BenchmarkMigration(b *testing.B) {
+	m := microMachine(&noPolicy{})
+	as := m.NewSpace()
+	v := as.Mmap(1, false, "x")
+	pg := m.Access(as, v.Start, false)
+	pm := m.Mem.TierNodes(mem.TierPM)[0]
+	dram := m.Mem.TierNodes(mem.TierDRAM)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.MigratePage(pg, pm) || !m.MigratePage(pg, dram) {
+			b.Fatal("migration failed")
+		}
+	}
+}
+
+// BenchmarkYCSBOp measures one full key-value operation through the store,
+// client and simulator.
+func BenchmarkYCSBOp(b *testing.B) {
+	m := microMachine(policy.NewStatic())
+	store := newBenchStore(m, 10000)
+	client := ycsb.NewClient(m, store, ycsb.DefaultClientConfig(10000))
+	client.Load()
+	b.ResetTimer()
+	// Run in chunks so client-side batching is realistic.
+	const chunk = 1024
+	for n := 0; n < b.N; n += chunk {
+		client.Run(ycsb.WorkloadA, chunk)
+	}
+}
+
+// BenchmarkZipfian measures the key-chooser alone.
+func BenchmarkZipfian(b *testing.B) {
+	z := ycsb.NewScrambled(1 << 20)
+	rng := sim.NewRNG(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next(rng)
+	}
+}
+
+// BenchmarkKpromotedWakeup measures one daemon wakeup (scan + promote) on a
+// steady-state multiclock machine.
+func BenchmarkKpromotedWakeup(b *testing.B) {
+	sys := NewSystem(Config{
+		DRAMPages:    1024,
+		PMPages:      8192,
+		ScanInterval: 10 * Millisecond,
+	})
+	defer sys.Stop()
+	store := sys.NewKVStore(12000)
+	client := sys.NewYCSB(store, 12000)
+	client.Load()
+	client.Run(WorkloadA, 50000)
+	m := sys.Machine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Advancing exactly one interval fires each node's daemon once.
+		m.Compute(10 * Millisecond)
+	}
+}

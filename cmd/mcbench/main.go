@@ -1,0 +1,73 @@
+// mcbench regenerates the paper's tables and figures on the simulated
+// hybrid-memory machine.
+//
+// Usage:
+//
+//	mcbench -exp fig5            # one experiment at full scale
+//	mcbench -exp all -quick      # everything, CI-speed
+//	mcbench -list                # show available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"multiclock/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (fig1, fig2, table1, table2, fig5..fig10, ablation-*, or 'all')")
+	quick := flag.Bool("quick", false, "compressed runs (~10× fewer ops and shorter daemon intervals)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, n := range bench.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		fmt.Println("  table2 (module inventory / LoC)")
+		fmt.Println("  all")
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opt := bench.Options{Quick: *quick, Seed: *seed}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = append(bench.Names(), "table2")
+	}
+	for _, name := range names {
+		start := time.Now()
+		var out string
+		var err error
+		if name == "table2" {
+			out, err = table2()
+		} else {
+			out, err = bench.Run(name, opt)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs wall) ====\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+}
+
+// table2 locates the module root and renders the package inventory.
+func table2() (string, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	root, err := bench.FindModuleRoot(wd)
+	if err != nil {
+		return "", err
+	}
+	return bench.Table2(root)
+}

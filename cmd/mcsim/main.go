@@ -1,0 +1,182 @@
+// mcsim runs one workload under one tiering policy on the simulated
+// hybrid-memory machine and prints the outcome — a quick way to poke at a
+// configuration without the full benchmark harness.
+//
+// Usage:
+//
+//	mcsim -policy multiclock -workload A -records 20000 -ops 500000
+//	mcsim -policy static -gapbs PR -vertices 40000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiclock"
+	"multiclock/internal/tracereplay"
+)
+
+func main() {
+	pol := flag.String("policy", "multiclock", "static | multiclock | nimble | at-cpm | at-opm | memory-mode | thermostat | amp-{lru,lfu,random}")
+	workload := flag.String("workload", "A", "YCSB workload (A-F, W)")
+	sequence := flag.Bool("sequence", false, "run the paper's full YCSB sequence (Load,A,B,C,F,W,D)")
+	gapbs := flag.String("gapbs", "", "run a GAPBS kernel instead (BFS, SSSP, PR, CC, BC, TC)")
+	records := flag.Int64("records", 20000, "YCSB record count")
+	ops := flag.Int64("ops", 500000, "YCSB operations")
+	vertices := flag.Int("vertices", 40000, "graph vertices")
+	degree := flag.Int("degree", 8, "graph average degree")
+	record := flag.String("record", "", "write the access trace to this file")
+	replay := flag.String("replay", "", "replay a recorded trace instead of a workload")
+	replayFast := flag.Bool("replay-fast", false, "replay back-to-back instead of original pacing")
+	dram := flag.Int("dram", 1024, "DRAM pages")
+	pm := flag.Int("pm", 8192, "PM pages")
+	interval := flag.Duration("interval", 0, "scan interval (virtual; default 100ms)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	scan := multiclock.Duration(100 * 1e6)
+	if *interval > 0 {
+		scan = multiclock.Duration(interval.Nanoseconds())
+	}
+	sys := multiclock.NewSystem(multiclock.Config{
+		Policy:       multiclock.Policy(*pol),
+		DRAMPages:    *dram,
+		PMPages:      *pm,
+		ScanInterval: scan,
+		Seed:         *seed,
+	})
+	defer sys.Stop()
+
+	var recorder *tracereplay.Recorder
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		recorder, err = tracereplay.NewRecorder(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+			os.Exit(1)
+		}
+		sys.Machine().Observer = recorder
+	}
+
+	switch {
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		mode := tracereplay.Timed
+		if *replayFast {
+			mode = tracereplay.Fast
+		}
+		res, err := tracereplay.Replay(sys.Machine(), f, mode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcsim: replay: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("replayed %d accesses in %v (virtual)\n", res.Records, res.Elapsed)
+	case *gapbs != "":
+		runGAPBS(sys, *gapbs, *vertices, *degree, *seed)
+	case *sequence:
+		runSequence(sys, *records, *ops)
+	default:
+		runYCSB(sys, *workload, *records, *ops)
+	}
+
+	if recorder != nil {
+		if err := recorder.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mcsim: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d accesses written to %s\n", recorder.Records(), *record)
+	}
+
+	fmt.Printf("\npolicy: %s\nvirtual time: %v\n", sys.PolicyName(), sys.Elapsed())
+	fmt.Println(sys.Counters())
+}
+
+// runSequence executes the prescribed workload order (§V-B) and prints a
+// per-workload summary.
+func runSequence(sys *multiclock.System, records, ops int64) {
+	store := sys.NewKVStore(int(records))
+	client := sys.NewYCSB(store, records)
+	fmt.Printf("loading %d records...\n", records)
+	client.Load()
+	fmt.Printf("%-8s %14s %10s %10s %10s\n", "workload", "ops/s", "p50", "p95", "p99")
+	for _, w := range multiclock.PaperSequence {
+		res := client.Run(w, ops)
+		fmt.Printf("%-8s %14.0f %10v %10v %10v\n", w.Name, res.Throughput, res.P50, res.P95, res.P99)
+	}
+}
+
+func runYCSB(sys *multiclock.System, name string, records, ops int64) {
+	var w multiclock.Workload
+	switch name {
+	case "A":
+		w = multiclock.WorkloadA
+	case "B":
+		w = multiclock.WorkloadB
+	case "C":
+		w = multiclock.WorkloadC
+	case "D":
+		w = multiclock.WorkloadD
+	case "E":
+		w = multiclock.WorkloadE
+	case "F":
+		w = multiclock.WorkloadF
+	case "W":
+		w = multiclock.WorkloadW
+	default:
+		fmt.Fprintf(os.Stderr, "mcsim: unknown workload %q\n", name)
+		os.Exit(2)
+	}
+	store := sys.NewKVStore(int(records))
+	client := sys.NewYCSB(store, records)
+	fmt.Printf("loading %d records...\n", records)
+	client.Load()
+	fmt.Printf("running YCSB workload %s for %d ops...\n", name, ops)
+	res := client.Run(w, ops)
+	if res.Unsupported {
+		fmt.Println("workload is non-operational on this back-end (memcached has no SCAN)")
+		return
+	}
+	fmt.Printf("throughput: %.0f ops/s (virtual)\n", res.Throughput)
+	fmt.Printf("latency: mean %v, p50 %v, p95 %v, p99 %v\n",
+		res.MeanLatency, res.P50, res.P95, res.P99)
+}
+
+func runGAPBS(sys *multiclock.System, kernel string, vertices, degree int, seed uint64) {
+	g := sys.NewGraph(multiclock.GraphConfig{
+		Vertices:  vertices,
+		Degree:    degree,
+		Kronecker: true,
+		Seed:      seed,
+	})
+	fmt.Printf("loaded %v; running %s...\n", g, kernel)
+	start := sys.Elapsed()
+	switch kernel {
+	case "BFS":
+		g.BFS(0)
+	case "SSSP":
+		g.SSSP(0, 64)
+	case "PR":
+		g.PageRank(5)
+	case "CC":
+		g.CC()
+	case "BC":
+		g.BC([]int32{0, 1, 2, 3})
+	case "TC":
+		fmt.Printf("triangles: %d\n", g.TC())
+	default:
+		fmt.Fprintf(os.Stderr, "mcsim: unknown kernel %q\n", kernel)
+		os.Exit(2)
+	}
+	fmt.Printf("kernel time: %v (virtual)\n", sys.Elapsed()-start)
+}

@@ -1,0 +1,93 @@
+// mctrace reproduces the paper's motivation measurements interactively:
+// page-access heatmaps over sampled pages (Fig. 1 style) and the
+// observation/performance window frequency analysis (Fig. 2 style) for the
+// built-in synthetic workload patterns.
+//
+// Usage:
+//
+//	mctrace -pattern rubis -samples 50 -csv
+//	mctrace -pattern xalan -analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiclock/internal/machine"
+	"multiclock/internal/pagetable"
+	"multiclock/internal/policy"
+	"multiclock/internal/sim"
+	"multiclock/internal/trace"
+)
+
+func main() {
+	name := flag.String("pattern", "rubis", "rubis | specpower | xalan | lusearch")
+	samples := flag.Int("samples", 50, "pages to sample for the heatmap")
+	duration := flag.Duration("duration", 0, "virtual run length (default 2s)")
+	csv := flag.Bool("csv", false, "emit the heatmap matrix as CSV")
+	analysis := flag.Bool("analysis", false, "run the Fig. 2 window-frequency analysis instead")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var pattern trace.Pattern
+	found := false
+	for _, p := range trace.Patterns {
+		if p.Name == *name {
+			pattern, found = p, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "mctrace: unknown pattern %q\n", *name)
+		os.Exit(2)
+	}
+
+	dur := 2 * sim.Second
+	if *duration > 0 {
+		dur = sim.Duration(duration.Nanoseconds())
+	}
+	// Scale the preset's phase geometry to the requested duration.
+	pattern.Phase = sim.Duration(float64(pattern.Phase) * float64(dur) / float64(20*sim.Second))
+	if pattern.Phase <= 0 {
+		pattern.Phase = dur / 8
+	}
+
+	cfg := machine.DefaultConfig()
+	cfg.Seed = *seed
+	m := machine.New(cfg, policy.NewStatic())
+	as := m.NewSpace()
+
+	if *analysis {
+		wf := trace.NewWindowFreq(dur/12, dur/12)
+		m.Observer = wf
+		trace.RunPattern(m, as, pattern, dur, *seed)
+		res := wf.Result()
+		fmt.Printf("pattern %s over %v\n", pattern.Name, dur)
+		fmt.Printf("single-access pages: %d, mean next-window accesses %.2f\n", res.SinglePages, res.SingleMean)
+		fmt.Printf("multi-access pages:  %d, mean next-window accesses %.2f\n", res.MultiPages, res.MultiMean)
+		return
+	}
+
+	// The pattern VMA is the first mapping in the space, so its VPNs are
+	// deterministic: plan the samples before running.
+	probe := as.Mmap(1, false, "probe")
+	base := probe.End + 1
+	rng := sim.NewRNG(*seed ^ 77)
+	n := *samples
+	if n > pattern.Pages {
+		n = pattern.Pages
+	}
+	var vpns []pagetable.VPN
+	for _, idx := range rng.Perm(pattern.Pages)[:n] {
+		vpns = append(vpns, base+pagetable.VPN(idx))
+	}
+	h := trace.NewHeatmap(vpns, []int32{as.ID}, dur/40)
+	m.Observer = h
+	trace.RunPattern(m, as, pattern, dur, *seed)
+
+	if *csv {
+		fmt.Print(h.CSV())
+	} else {
+		fmt.Print(h.Render())
+	}
+}

@@ -1,0 +1,63 @@
+// File cache: MULTI-CLOCK manages file-backed pages too (§VI: "anonymous
+// and file-backed pages, making MULTI-CLOCK a complete solution", unlike
+// NUMA-balancing-based tiering). A large cold file fills DRAM; a small
+// index file everyone keeps reading lands in PM — dynamic tiering promotes
+// the index back to DRAM.
+package main
+
+import (
+	"fmt"
+
+	"multiclock"
+)
+
+func run(policy multiclock.Policy) {
+	sys := multiclock.NewSystem(multiclock.Config{
+		Policy:       policy,
+		DRAMPages:    512,
+		PMPages:      4096,
+		ScanInterval: 10 * multiclock.Millisecond,
+		Seed:         3,
+	})
+	defer sys.Stop()
+	fc := sys.NewFileCache()
+
+	// Ingest: the table scan claims DRAM, then the index is built.
+	data := fc.Open("table.data", 700)
+	data.ReadRange(0, 700)
+	index := fc.Open("table.idx", 64)
+	index.ReadRange(0, 64)
+
+	// Nightly batch: repeated table scans across several scan intervals.
+	// The idle index is demoted to PM (under static it may simply never
+	// have been in DRAM).
+	for round := 0; round < 5; round++ {
+		data.ReadRange(0, 700)
+		sys.Machine().Compute(11 * multiclock.Millisecond)
+	}
+
+	// Query phase: scans stop; every request hits the index — a bimodal,
+	// tier-friendly file (§II-A). MULTI-CLOCK promotes it out of PM;
+	// static tiering leaves it there forever. Requests arrive over real
+	// time, so kpromoted gets its wakeups.
+	start := sys.Elapsed()
+	for round := 0; round < 60; round++ {
+		index.ReadRange(0, 64)
+		data.Read(round * 11)
+		sys.Machine().Compute(1 * multiclock.Millisecond) // request gap
+	}
+	elapsed := sys.Elapsed() - start - 60*multiclock.Millisecond
+
+	fmt.Printf("%-12s  query loop: %-10v  demotions: %-5d  DRAM hit %.1f%%\n",
+		policy, elapsed, sys.Counters().Demotions, 100*sys.DRAMHitRatio())
+}
+
+func main() {
+	fmt.Println("hot index file (64 pages) vs cold 700-page data file, 512-page DRAM")
+	fmt.Println()
+	run(multiclock.PolicyStatic)
+	run(multiclock.PolicyMultiClock)
+	fmt.Println("\nMULTI-CLOCK's demotion keeps DRAM headroom so the hot index file lives in")
+	fmt.Println("DRAM; file pages ride the file LRU lists (cross-tier promotion of file")
+	fmt.Println("pages is exercised by the internal/pagecache tests)")
+}

@@ -1,0 +1,3 @@
+module multiclock
+
+go 1.22

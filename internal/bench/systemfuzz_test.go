@@ -1,0 +1,167 @@
+package bench
+
+// Cross-policy system fuzzing: drive every tiering policy with randomized
+// access/unmap/idle sequences and check the machine's global invariants
+// after the storm. These catch state-machine leaks that unit tests of
+// individual packages cannot see.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multiclock/internal/lru"
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/pagetable"
+	"multiclock/internal/sim"
+)
+
+// checkInvariants asserts the machine's global consistency.
+func checkInvariants(t *testing.T, m *machine.Machine) {
+	t.Helper()
+
+	used := 0
+	for _, n := range m.Mem.Nodes {
+		if n.FreeFrames() < 0 || n.FreeFrames() > n.Frames {
+			t.Fatalf("node %d free frames out of range: %d/%d", n.ID, n.FreeFrames(), n.Frames)
+		}
+		used += n.UsedFrames()
+	}
+
+	mapped := 0
+	for _, as := range m.Spaces() {
+		mapped += as.Mapped()
+	}
+	if used != mapped {
+		t.Fatalf("frames used %d != PTEs mapped %d (leak or double-map)", used, mapped)
+	}
+
+	onLists := 0
+	for _, vec := range m.Vecs {
+		for k := lru.Kind(0); k < lru.NumKinds; k++ {
+			vec.List(k).Each(func(pg *mem.Page) {
+				onLists++
+				// KindOf panics if flags disagree with list membership.
+				if got := vec.KindOf(pg); got != k {
+					t.Fatalf("page on list %v reports kind %v", k, got)
+				}
+				if pg.Node == mem.NoNode || pg.Frame == mem.NoFrame {
+					t.Fatal("freed page still on LRU")
+				}
+				if pg.Flags.Has(mem.FlagIsolated) {
+					t.Fatal("isolated page on LRU")
+				}
+			})
+		}
+	}
+	if onLists != used {
+		t.Fatalf("LRU population %d != frames used %d", onLists, used)
+	}
+
+	c := &m.Mem.Counters
+	var allocs, frees int64
+	for tier := mem.Tier(0); tier < mem.NumTiers; tier++ {
+		allocs += c.Allocs[tier]
+		frees += c.Frees[tier]
+	}
+	if allocs-frees != int64(used) {
+		t.Fatalf("alloc/free accounting: %d - %d != %d used", allocs, frees, used)
+	}
+}
+
+// fuzzOne runs one randomized scenario on one policy.
+func fuzzOne(t *testing.T, system string, seed uint64, ops int) {
+	t.Helper()
+	p, err := NewPolicy(system, 5*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Mem.DRAMNodes = []int{128, 128}
+	cfg.Mem.PMNodes = []int{512, 512}
+	cfg.Seed = seed
+	cfg.OpCost = 200 * sim.Nanosecond
+	m := machine.New(cfg, p)
+	as := m.NewSpace()
+	v := as.Mmap(2000, false, "fuzz")
+	locked := as.Mmap(8, false, "locked")
+	locked.Locked = true
+	rng := sim.NewRNG(seed)
+
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(20) {
+		case 0:
+			// Unmap a random page.
+			m.Unmap(as, v.Start+pagetable.VPN(rng.Intn(2000)))
+		case 1:
+			// Idle long enough for daemons to run.
+			m.Compute(sim.Duration(rng.Intn(20)) * sim.Millisecond)
+		case 2:
+			// Touch mlocked memory.
+			m.Access(as, locked.Start+pagetable.VPN(rng.Intn(8)), true)
+		case 3:
+			// Supervised access path.
+			m.SupervisedAccess(as, v.Start+pagetable.VPN(rng.Intn(2000)), rng.Intn(2) == 0)
+		default:
+			// Skewed regular accesses.
+			var idx int
+			if rng.Intn(10) < 7 {
+				idx = rng.Intn(200)
+			} else {
+				idx = rng.Intn(2000)
+			}
+			m.Access(as, v.Start+pagetable.VPN(idx), rng.Intn(3) == 0)
+		}
+		m.EndOp()
+	}
+	stopDaemons(p)
+	checkInvariants(t, m)
+}
+
+func TestSystemInvariantsUnderFuzz(t *testing.T) {
+	systems := append(append([]string{}, SystemNames...), "memory-mode", "amp-lfu", "amp-lru", "amp-random", "thermostat")
+	ops := 8000
+	if testing.Short() {
+		ops = 1500
+	}
+	for _, system := range systems {
+		system := system
+		t.Run(system, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				fuzzOne(t, system, seed, ops)
+			}
+		})
+	}
+}
+
+// Property: simulation is deterministic for every policy — same seed,
+// same elapsed time and counters.
+func TestDeterminismAcrossPolicies(t *testing.T) {
+	run := func(system string, seed uint64) (sim.Duration, mem.Counters) {
+		p, _ := NewPolicy(system, 5*sim.Millisecond)
+		cfg := machine.DefaultConfig()
+		cfg.Mem.DRAMNodes = []int{256}
+		cfg.Mem.PMNodes = []int{1024}
+		cfg.Seed = seed
+		m := machine.New(cfg, p)
+		as := m.NewSpace()
+		v := as.Mmap(1500, false, "w")
+		rng := sim.NewRNG(seed ^ 0xd)
+		for i := 0; i < 3000; i++ {
+			m.Access(as, v.Start+pagetable.VPN(rng.Intn(1500)), rng.Intn(2) == 0)
+			m.EndOp()
+		}
+		stopDaemons(p)
+		return m.Elapsed(), m.Mem.Counters
+	}
+	f := func(seed uint64, sysIdx uint8) bool {
+		systems := []string{"static", "multiclock", "nimble", "at-cpm", "at-opm", "memory-mode", "amp-lfu"}
+		system := systems[int(sysIdx)%len(systems)]
+		e1, c1 := run(system, seed)
+		e2, c2 := run(system, seed)
+		return e1 == e2 && c1 == c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"multiclock/internal/kvstore"
+	"multiclock/internal/machine"
+	"multiclock/internal/sim"
+	"multiclock/internal/stats"
+	"multiclock/internal/trace"
+	"multiclock/internal/ycsb"
+)
+
+// ycsbRun executes the prescribed sequence (Load, A, B, C, F, W, D) on one
+// freshly built system and returns per-workload throughput plus the
+// machine (for counters) and optional telemetry.
+type ycsbRunResult struct {
+	Throughput map[string]float64
+	Machine    *machine.Machine
+	Tracker    *trace.PromotionTracker
+}
+
+func ycsbRun(sc scale, seed uint64, system string, interval sim.Duration, track bool) ycsbRunResult {
+	p, err := NewPolicy(system, interval)
+	if err != nil {
+		panic(err)
+	}
+	m := machineFor(sc, seed, p)
+	var tracker *trace.PromotionTracker
+	if track {
+		tracker = trace.NewPromotionTracker(sc.Window).Bind(m)
+		m.Observer = tracker
+	}
+	storeCfg := kvstore.DefaultConfig(int(sc.Records))
+	storeCfg.ItemTouches = 8
+	store := kvstore.New(m, storeCfg)
+	clientCfg := ycsb.DefaultClientConfig(sc.Records)
+	clientCfg.Seed = seed ^ 0x9c5b
+	client := ycsb.NewClient(m, store, clientCfg)
+	client.Load()
+
+	out := ycsbRunResult{Throughput: map[string]float64{}, Machine: m, Tracker: tracker}
+	for _, w := range ycsb.PaperSequence {
+		res := client.Run(w, sc.OpsPerWorkload)
+		out.Throughput[w.Name] = res.Throughput
+	}
+	stopDaemons(p)
+	return out
+}
+
+// Fig5 regenerates the YCSB throughput comparison: every workload of the
+// prescribed sequence, every tiered system, normalized to static tiering.
+func Fig5(opt Options) string {
+	sc := opt.scale()
+	workloads := []string{"A", "B", "C", "F", "W", "D"}
+
+	results := map[string]map[string]float64{}
+	notes := map[string]string{}
+	for _, system := range SystemNames {
+		r := ycsbRun(sc, opt.Seed, system, sc.Interval, false)
+		results[system] = r.Throughput
+		notes[system] = tierSummary(r.Machine)
+	}
+
+	tb := stats.NewTable(
+		"Fig. 5 — YCSB throughput normalized to static tiering (higher is better)",
+		append([]string{"workload"}, SystemNames...)...)
+	for _, w := range workloads {
+		base := results["static"][w]
+		row := []string{w}
+		for _, system := range SystemNames {
+			norm := 0.0
+			if base > 0 {
+				norm = results[system][w] / base
+			}
+			row = append(row, fmt.Sprintf("%.3f", norm))
+		}
+		tb.AddRow(row...)
+	}
+	var b strings.Builder
+	b.WriteString(tb.String())
+	b.WriteString("\nabsolute static throughput (ops/s): ")
+	for _, w := range workloads {
+		fmt.Fprintf(&b, "%s=%.0f ", w, results["static"][w])
+	}
+	b.WriteString("\nworkload E: non-operational — memcached back-end has no SCAN (§V-B)\n")
+	for _, system := range SystemNames {
+		fmt.Fprintf(&b, "%-12s %s\n", system, notes[system])
+	}
+	return b.String()
+}
+
+// Fig7 regenerates the Memory-mode comparison: workload footprint set to
+// 4× the DRAM capacity; YCSB workloads plus PageRank, normalized to
+// static.
+func Fig7(opt Options) string {
+	sc := opt.scale()
+	// 4× DRAM: each 1000-byte record occupies ¼ page in its slab, so a
+	// footprint of 4×DRAMPages pages needs 16 records per DRAM frame.
+	sc.Records = int64(16 * sc.DRAMPages)
+	workloads := []string{"A", "B", "C", "F", "W", "D"}
+
+	results := map[string]map[string]float64{}
+	for _, system := range MemModeNames {
+		r := ycsbRun(sc, opt.Seed, system, sc.Interval, false)
+		results[system] = r.Throughput
+	}
+
+	tb := stats.NewTable(
+		"Fig. 7a — YCSB at 4× DRAM footprint, normalized to static (higher is better)",
+		append([]string{"workload"}, MemModeNames...)...)
+	for _, w := range workloads {
+		base := results["static"][w]
+		row := []string{w}
+		for _, system := range MemModeNames {
+			norm := 0.0
+			if base > 0 {
+				norm = results[system][w] / base
+			}
+			row = append(row, fmt.Sprintf("%.3f", norm))
+		}
+		tb.AddRow(row...)
+	}
+
+	// Fig. 7b: PageRank execution time.
+	times := map[string]float64{}
+	for _, system := range MemModeNames {
+		times[system] = gapbsKernelTime(sc, opt.Seed, system, "PR")
+	}
+	tb2 := stats.NewTable(
+		"Fig. 7b — PageRank execution time normalized to static (lower is better)",
+		"kernel", MemModeNames[0], MemModeNames[1], MemModeNames[2])
+	base := times["static"]
+	row := []string{"PR"}
+	for _, system := range MemModeNames {
+		norm := 0.0
+		if base > 0 {
+			norm = times[system] / base
+		}
+		row = append(row, fmt.Sprintf("%.3f", norm))
+	}
+	tb2.AddRow(row...)
+	return tb.String() + "\n" + tb2.String()
+}
+
+// Fig8 and Fig9 share one instrumented run of MULTI-CLOCK and Nimble.
+func promotionTelemetry(opt Options) (mc, nb ycsbRunResult, sc scale) {
+	sc = opt.scale()
+	mc = ycsbRun(sc, opt.Seed, "multiclock", sc.Interval, true)
+	nb = ycsbRun(sc, opt.Seed, "nimble", sc.Interval, true)
+	return mc, nb, sc
+}
+
+// Fig8 regenerates the pages-promoted-per-window comparison between
+// MULTI-CLOCK and Nimble.
+func Fig8(opt Options) string {
+	mc, nb, sc := promotionTelemetry(opt)
+	mcS, nbS := mc.Tracker.Promotions(), nb.Tracker.Promotions()
+	n := maxLen(mcS, nbS)
+	tb := stats.NewTable(
+		fmt.Sprintf("Fig. 8 — pages promoted per %v window", sc.Window),
+		"window", "multiclock", "nimble")
+	for i := 0; i < n; i++ {
+		tb.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%.0f", at(mcS, i)), fmt.Sprintf("%.0f", at(nbS, i)))
+	}
+	tb.AddRow("total",
+		fmt.Sprintf("%d", mc.Tracker.TotalPromotions()),
+		fmt.Sprintf("%d", nb.Tracker.TotalPromotions()))
+	return tb.String() +
+		"\nexpected shape: nimble promotes more pages than multiclock (§V-D.1)\n"
+}
+
+// Fig9 regenerates the re-access percentage of recently promoted pages.
+func Fig9(opt Options) string {
+	mc, nb, sc := promotionTelemetry(opt)
+	mcS, nbS := mc.Tracker.ReaccessPercent(), nb.Tracker.ReaccessPercent()
+	n := maxLen(mcS, nbS)
+	tb := stats.NewTable(
+		fmt.Sprintf("Fig. 9 — %% of promoted pages re-accessed, per %v window", sc.Window),
+		"window", "multiclock", "nimble")
+	for i := 0; i < n; i++ {
+		tb.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%.1f", at(mcS, i)), fmt.Sprintf("%.1f", at(nbS, i)))
+	}
+	tb.AddRow("mean",
+		fmt.Sprintf("%.1f", mc.Tracker.MeanReaccessPercent()),
+		fmt.Sprintf("%.1f", nb.Tracker.MeanReaccessPercent()))
+	return tb.String() +
+		"\nexpected shape: multiclock's promoted pages have a higher re-access rate (§V-D.2)\n"
+}
+
+// Fig10 regenerates the scanning-interval sensitivity study on YCSB
+// workload A for MULTI-CLOCK and Nimble. Runs are measured after a warmup
+// pass so the sweep isolates the steady-state trade-off the paper studies
+// (scan overhead vs reaction lag), not warmup speed.
+func Fig10(opt Options) string {
+	sc := opt.scale()
+	intervals := []sim.Duration{
+		sc.Interval / 10,
+		sc.Interval / 4,
+		sc.Interval / 2,
+		sc.Interval,
+		5 * sc.Interval,
+		60 * sc.Interval,
+	}
+	tb := stats.NewTable(
+		"Fig. 10 — YCSB-A throughput vs scan interval, normalized to static (higher is better)",
+		"interval", "multiclock", "nimble")
+	base := ycsbSteadyWorkloadA(sc, opt.Seed, "static", sc.Interval)
+	for _, iv := range intervals {
+		mc := ycsbSteadyWorkloadA(sc, opt.Seed, "multiclock", iv)
+		nb := ycsbSteadyWorkloadA(sc, opt.Seed, "nimble", iv)
+		tb.AddRow(iv.String(),
+			fmt.Sprintf("%.3f", safeDiv(mc, base)),
+			fmt.Sprintf("%.3f", safeDiv(nb, base)))
+	}
+	return tb.String() +
+		fmt.Sprintf("\npaper operating point: %v — the interval playing the paper's 1 s role\n"+
+			"at this time compression (§V-E); shorter pays scan overhead, longer lags\n", sc.Interval)
+}
+
+// ycsbOneWorkload loads and runs only workload A, returning throughput.
+func ycsbOneWorkload(sc scale, seed uint64, system string, interval sim.Duration) float64 {
+	tp, _ := ycsbWorkloadA(sc, seed, system, interval, false)
+	return tp
+}
+
+// ycsbSteadyWorkloadA measures workload A after an unmeasured warmup pass.
+func ycsbSteadyWorkloadA(sc scale, seed uint64, system string, interval sim.Duration) float64 {
+	_, tp := ycsbWorkloadA(sc, seed, system, interval, true)
+	return tp
+}
+
+func ycsbWorkloadA(sc scale, seed uint64, system string, interval sim.Duration, warm bool) (cold, steady float64) {
+	p, err := NewPolicy(system, interval)
+	if err != nil {
+		panic(err)
+	}
+	m := machineFor(sc, seed, p)
+	storeCfg := kvstore.DefaultConfig(int(sc.Records))
+	storeCfg.ItemTouches = 8
+	store := kvstore.New(m, storeCfg)
+	clientCfg := ycsb.DefaultClientConfig(sc.Records)
+	clientCfg.Seed = seed ^ 0xface
+	client := ycsb.NewClient(m, store, clientCfg)
+	client.Load()
+	res := client.Run(ycsb.WorkloadA, sc.OpsPerWorkload)
+	cold = res.Throughput
+	if warm {
+		steady = client.Run(ycsb.WorkloadA, sc.OpsPerWorkload).Throughput
+	}
+	stopDaemons(p)
+	return cold, steady
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func maxLen(a, b []float64) int {
+	if len(a) > len(b) {
+		return len(a)
+	}
+	return len(b)
+}
+
+func at(s []float64, i int) float64 {
+	if i < len(s) {
+		return s[i]
+	}
+	return 0
+}

@@ -1,0 +1,365 @@
+// Package core implements MULTI-CLOCK, the paper's dynamic tiering policy:
+// per-node CLOCK-based page aging extended with a promote list that captures
+// both recency and frequency (a page must be referenced while already
+// active-referenced to qualify — i.e. recently accessed more than once), a
+// kpromoted daemon that periodically migrates promote-list pages to the
+// DRAM tier, and a kswapd-style demotion path that moves cold DRAM pages to
+// PM under watermark pressure (paper §III, §IV).
+package core
+
+import (
+	"multiclock/internal/lru"
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/sim"
+)
+
+// Config tunes MULTI-CLOCK.
+type Config struct {
+	// ScanInterval is kpromoted's wakeup period. The paper evaluates
+	// 100 ms–60 s and selects 1 s (§V-E).
+	ScanInterval sim.Duration
+	// ScanBatch is the number of pages examined per wakeup; the paper
+	// sets 1024 (§V-C).
+	ScanBatch int
+	// PromoteMax caps promotions per wakeup. Zero or negative promotes
+	// every selected page, which is the paper's behaviour ("promotes all
+	// the pages it selected", §III-B); positive values throttle.
+	PromoteMax int
+	// DemoteRounds bounds how many batch rounds one pressure episode may
+	// run. Two rounds age pages (spend hardware bit, then referenced
+	// flag) without forcibly evicting pages that are hot between
+	// episodes; genuinely cold pages isolate on the first pass.
+	DemoteRounds int
+	// MinActiveRatio floors the active:inactive balance ratio. The
+	// kernel's √(10·n) formula evaluates near 1 for our MiB-scale nodes,
+	// but those nodes stand in for the paper's ~100 GiB tiers where the
+	// ratio is ≈30; without the floor, tiny-node balancing deactivates
+	// the hot set every pressure episode.
+	MinActiveRatio float64
+	// Adaptive enables the §VII future-work extension: each kpromoted
+	// thread retunes its own interval from what its wakeups find — heavy
+	// promotion flow halves the interval (the workload is shifting and
+	// wants faster reaction), an idle wakeup doubles it (nothing to do,
+	// stop paying scan overhead) — clamped to [AdaptiveMin, AdaptiveMax].
+	Adaptive    bool
+	AdaptiveMin sim.Duration
+	AdaptiveMax sim.Duration
+	// WriteBias, when positive, implements the §VII discussion extension:
+	// a dirty page on the promote list is preferred for promotion by
+	// ordering (writes to PM are the most expensive accesses). Zero keeps
+	// the paper's read/write-oblivious behaviour.
+	WriteBias bool
+}
+
+// DefaultConfig returns the paper's operating point: 1 s interval, 1024
+// pages per scan, unlimited promotions.
+func DefaultConfig() Config {
+	return Config{
+		ScanInterval:   1 * sim.Second,
+		ScanBatch:      1024,
+		PromoteMax:     -1,
+		DemoteRounds:   2,
+		MinActiveRatio: 3,
+	}
+}
+
+// reclaimCluster is the minimum batch one pressure episode tries to free,
+// mirroring the kernel's clustered reclaim so kswapd work is amortized.
+const reclaimCluster = 32
+
+// MultiClock is the policy object. Create with New, pass to machine.New.
+type MultiClock struct {
+	machine.Base
+	cfg     Config
+	daemons []*sim.Daemon
+
+	// lastDemote rate-limits pressure episodes to one per node per
+	// virtual instant: a promotion burst would otherwise run many
+	// episodes back to back with no application accesses in between to
+	// re-reference hot pages, aging the whole node's reference state in
+	// one tick and evicting its hot set (a single-timeline simulation
+	// artifact a real kernel's concurrency doesn't have).
+	lastDemote map[mem.NodeID]sim.Time
+
+	// Stats beyond the machine counters.
+	PromoteAttempts int64
+	PromoteFails    int64
+	// MinIntervalSeen records the shortest interval the adaptive
+	// extension reached (zero when never adapted downward).
+	MinIntervalSeen sim.Duration
+}
+
+// New returns a MULTI-CLOCK policy with the given configuration.
+func New(cfg Config) *MultiClock {
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = 1 * sim.Second
+	}
+	if cfg.ScanBatch <= 0 {
+		cfg.ScanBatch = 1024
+	}
+	if cfg.PromoteMax <= 0 {
+		cfg.PromoteMax = -1 // the paper's promote-all
+	}
+	if cfg.DemoteRounds <= 0 {
+		cfg.DemoteRounds = 2
+	}
+	if cfg.MinActiveRatio <= 0 {
+		cfg.MinActiveRatio = 3
+	}
+	if cfg.Adaptive {
+		if cfg.AdaptiveMin <= 0 {
+			cfg.AdaptiveMin = cfg.ScanInterval / 8
+		}
+		if cfg.AdaptiveMax <= 0 {
+			cfg.AdaptiveMax = cfg.ScanInterval * 8
+		}
+	}
+	return &MultiClock{cfg: cfg, lastDemote: make(map[mem.NodeID]sim.Time)}
+}
+
+// Name implements machine.Policy.
+func (mc *MultiClock) Name() string { return "multiclock" }
+
+// Config returns the active configuration.
+func (mc *MultiClock) Config() Config { return mc.cfg }
+
+// Attach starts one kpromoted thread per node, following the kernel
+// prototype's one-thread-per-node design to avoid lock contention (§IV).
+func (mc *MultiClock) Attach(m *machine.Machine) {
+	mc.Base.Attach(m)
+	for _, n := range m.Mem.Nodes {
+		node := n.ID
+		var d *sim.Daemon
+		d = m.Clock.StartDaemon("kpromoted", mc.cfg.ScanInterval, func(now sim.Time) {
+			promoted := mc.kpromoted(node)
+			if mc.cfg.Adaptive {
+				mc.adapt(d, promoted)
+			}
+		})
+		mc.daemons = append(mc.daemons, d)
+	}
+}
+
+// adapt retunes one kpromoted thread's interval from its last wakeup's
+// promotion flow (§VII future work).
+func (mc *MultiClock) adapt(d *sim.Daemon, promoted int) {
+	switch {
+	case promoted > mc.cfg.ScanBatch/64:
+		// The workload is moving pages across tiers: react faster.
+		next := d.Interval / 2
+		if next < mc.cfg.AdaptiveMin {
+			next = mc.cfg.AdaptiveMin
+		}
+		d.Interval = next
+		if mc.MinIntervalSeen == 0 || next < mc.MinIntervalSeen {
+			mc.MinIntervalSeen = next
+		}
+	case promoted == 0:
+		// Quiet tier: back off, saving scan overhead.
+		next := d.Interval * 2
+		if next > mc.cfg.AdaptiveMax {
+			next = mc.cfg.AdaptiveMax
+		}
+		d.Interval = next
+	}
+}
+
+// Stop halts all daemons (used by experiments that rebuild machines).
+func (mc *MultiClock) Stop() {
+	for _, d := range mc.daemons {
+		d.Stop()
+	}
+}
+
+// SetScanInterval retunes the wakeup period of every kpromoted thread,
+// taking effect from each thread's next wakeup (used by the Fig. 10
+// sensitivity sweep).
+func (mc *MultiClock) SetScanInterval(d sim.Duration) {
+	mc.cfg.ScanInterval = d
+	for _, dm := range mc.daemons {
+		dm.SetInterval(d)
+	}
+}
+
+// kpromoted is one wakeup of the per-node daemon: scan the lists to update
+// page states from the hardware reference bits, then migrate everything on
+// the promote list to the next-higher tier (§III-B). It returns the number
+// of pages promoted (consumed by the adaptive-interval extension).
+func (mc *MultiClock) kpromoted(node mem.NodeID) int {
+	m := mc.M
+	vec := m.Vecs[node]
+	stats := vec.ScanCycle(mc.cfg.ScanBatch)
+	mc.ScanTax(stats)
+
+	tier := m.Mem.Nodes[node].Tier
+	candidates := vec.CollectPromote(-1)
+	if tier == mem.TierDRAM {
+		// Top tier: nothing higher. Promote-list residents return to the
+		// active list — they are simply the hottest pages where they are.
+		for _, pg := range candidates {
+			lru.ClearPromote(pg)
+			vec.Putback(pg)
+		}
+		// Opportunistically keep the node healthy even without an
+		// allocation trigger.
+		if m.Mem.Nodes[node].UnderLow() {
+			mc.demoteFrom(node, 0)
+		}
+		return 0
+	}
+
+	if mc.cfg.WriteBias {
+		// §VII extension: promote dirty pages first so PM writes are the
+		// accesses most likely to move to DRAM.
+		ordered := make([]*mem.Page, 0, len(candidates))
+		for _, pg := range candidates {
+			if pg.Flags.Has(mem.FlagDirty) {
+				ordered = append(ordered, pg)
+			}
+		}
+		for _, pg := range candidates {
+			if !pg.Flags.Has(mem.FlagDirty) {
+				ordered = append(ordered, pg)
+			}
+		}
+		candidates = ordered
+	}
+
+	promoted := 0
+	for _, pg := range candidates {
+		if mc.cfg.PromoteMax >= 0 && promoted >= mc.cfg.PromoteMax {
+			// Budget spent: the page keeps its promote state and waits
+			// for the next wakeup.
+			vec.Putback(pg)
+			continue
+		}
+		mc.PromoteAttempts++
+		// Promoted pages arrive in the DRAM active list: they earned
+		// their heat. (Putback uses the flags, so rewrite them first.)
+		lru.ClearPromote(pg)
+		if mc.promoteIsolated(pg, len(candidates)) {
+			promoted++
+		} else {
+			mc.PromoteFails++
+			// Paper: pages that cannot migrate move to the active list
+			// of their current tier (§III-C).
+			m.Vecs[pg.Node].Putback(pg)
+		}
+	}
+	return promoted
+}
+
+// promoteIsolated migrates one isolated page to the DRAM tier, demoting
+// cold DRAM pages first when DRAM is under pressure ("promotions from the
+// lower tier result in immediate page demotions from the higher tier",
+// §III-C). demand sizes the room-making to the whole promotion batch.
+func (mc *MultiClock) promoteIsolated(pg *mem.Page, demand int) bool {
+	m := mc.M
+	dst := m.Mem.PickNode(mem.TierDRAM)
+	if dst == mem.NoNode || m.Mem.Nodes[dst].UnderMin() {
+		mc.makeRoomInDRAM(demand)
+		dst = m.Mem.PickNode(mem.TierDRAM)
+		if dst == mem.NoNode {
+			return false
+		}
+	}
+	return m.MigrateIsolated(pg, dst)
+}
+
+// makeRoomInDRAM demotes from every DRAM node under pressure, aiming to
+// free about `demand` frames across the tier.
+func (mc *MultiClock) makeRoomInDRAM(demand int) {
+	nodes := mc.M.Mem.TierNodes(mem.TierDRAM)
+	perNode := demand/len(nodes) + 1
+	for _, id := range nodes {
+		if mc.M.Mem.Nodes[id].UnderHigh() {
+			mc.demoteFrom(id, perNode)
+		}
+	}
+}
+
+// Pressure is the kswapd wakeup: an allocation pushed node below its low
+// watermark.
+func (mc *MultiClock) Pressure(node mem.NodeID) {
+	mc.demoteFrom(node, 0)
+}
+
+// demoteFrom relieves pressure on one node: rebalance active/inactive by
+// the √(10·n):1 rule (floored by MinActiveRatio), then migrate cold
+// inactive pages down a tier — or swap them out if the node is already in
+// the lowest tier (§III-C). extra raises the reclaim target beyond the
+// high watermark (promotion demand).
+//
+// Reference state is spent at most once per virtual instant: repeat calls
+// within the same instant can harvest pages that are already cold but must
+// not age anything further, because no application access could have
+// re-referenced a page in the meantime — without this, a promotion burst
+// would strip a node's entire hot set of its protection in one tick (a
+// single-timeline artifact real kernels' concurrency doesn't have).
+func (mc *MultiClock) demoteFrom(node mem.NodeID, extra int) {
+	m := mc.M
+	n := m.Mem.Nodes[node]
+	vec := m.Vecs[node]
+
+	need := n.WM.High - n.FreeFrames() + reclaimCluster + extra
+	if need > mc.cfg.ScanBatch {
+		need = mc.cfg.ScanBatch
+	}
+	if need <= 0 || !n.UnderHigh() && extra == 0 {
+		return
+	}
+
+	now := m.Clock.Now()
+	var candidates []*mem.Page
+	if mc.lastDemote[node] == now && now != 0 {
+		candidates = vec.DemoteCandidatesCold(need)
+	} else {
+		mc.lastDemote[node] = now
+		ratio := lru.ActiveRatioLimit(n.Frames)
+		if ratio < mc.cfg.MinActiveRatio {
+			ratio = mc.cfg.MinActiveRatio
+		}
+		for round := 0; round < mc.cfg.DemoteRounds && len(candidates) < need; round++ {
+			moved := vec.BalanceActive(ratio, mc.cfg.ScanBatch)
+			m.Mem.Counters.PagesScanned += int64(moved)
+			candidates = append(candidates, vec.DemoteCandidates(need-len(candidates))...)
+		}
+	}
+
+	lower := n.Tier + 1
+	for _, pg := range candidates {
+		if lower >= mem.NumTiers {
+			mc.evictIsolated(pg)
+			continue
+		}
+		dst := m.Mem.PickNode(lower)
+		if dst == mem.NoNode {
+			// Lower tier full too: write back to storage instead.
+			mc.evictIsolated(pg)
+			continue
+		}
+		if !m.MigrateIsolated(pg, dst) {
+			// A compound page may fail on fragmentation alone: split it
+			// (split_huge_page) so its base pages reclaim individually.
+			if pg.IsHuge() && pg.Space >= 0 {
+				m.SplitHuge(pg)
+				continue
+			}
+			mc.evictIsolated(pg)
+		}
+	}
+}
+
+// evictIsolated writes an isolated page to swap, splitting compound pages
+// first so a single reclaim does not write 2 MiB synchronously.
+func (mc *MultiClock) evictIsolated(pg *mem.Page) {
+	if pg.IsHuge() && pg.Space >= 0 {
+		mc.M.SplitHuge(pg)
+		return
+	}
+	mc.M.SwapOut(pg)
+}
+
+// compile-time interface check
+var _ machine.Policy = (*MultiClock)(nil)

@@ -1,0 +1,193 @@
+// Package graph is the GAP Benchmark Suite substrate (§V-B): CSR graphs
+// stored in simulated memory, the uniform and Kronecker (RMAT) generators,
+// and the six GAPBS kernels — BFS, SSSP, PageRank, Connected Components,
+// Betweenness Centrality, and Triangle Counting. The graph is loaded into
+// (simulated) memory first and the kernels then run over the
+// memory-resident representation, exactly the two-phase shape the paper
+// describes.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"multiclock/internal/machine"
+	"multiclock/internal/pagetable"
+	"multiclock/internal/sim"
+	"multiclock/internal/simdata"
+)
+
+// Edge is one directed edge.
+type Edge struct {
+	U, V int32
+}
+
+// GenConfig shapes a synthetic graph.
+type GenConfig struct {
+	// Vertices is the vertex count.
+	Vertices int
+	// Degree is the average out-degree (edges = Vertices × Degree).
+	Degree int
+	// Kronecker selects the RMAT generator (GAPBS's default synthetic
+	// graph); false gives a uniform random graph.
+	Kronecker bool
+	Seed      uint64
+}
+
+// GenerateEdges produces the edge list for cfg.
+func GenerateEdges(cfg GenConfig) []Edge {
+	if cfg.Vertices <= 1 || cfg.Degree <= 0 {
+		panic("graph: need at least 2 vertices and positive degree")
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	m := cfg.Vertices * cfg.Degree
+	edges := make([]Edge, 0, m)
+	if cfg.Kronecker {
+		// RMAT with GAPBS's (A,B,C) = (0.57, 0.19, 0.19).
+		bits := 0
+		for 1<<bits < cfg.Vertices {
+			bits++
+		}
+		n := int32(1) << bits
+		for len(edges) < m {
+			var u, v int32
+			for b := 0; b < bits; b++ {
+				p := rng.Float64()
+				switch {
+				case p < 0.57: // quadrant A: (0,0)
+				case p < 0.76: // B: (0,1)
+					v |= 1 << b
+				case p < 0.95: // C: (1,0)
+					u |= 1 << b
+				default: // D: (1,1)
+					u |= 1 << b
+					v |= 1 << b
+				}
+			}
+			if int(u) < cfg.Vertices && int(v) < cfg.Vertices && u != v {
+				edges = append(edges, Edge{u, v})
+			}
+			_ = n
+		}
+	} else {
+		for len(edges) < m {
+			u := int32(rng.Intn(cfg.Vertices))
+			v := int32(rng.Intn(cfg.Vertices))
+			if u != v {
+				edges = append(edges, Edge{u, v})
+			}
+		}
+	}
+	return edges
+}
+
+// Graph is a CSR graph in simulated memory. Offsets and targets (and
+// weights for SSSP) are simulated arrays; building the graph touches them
+// with writes, which is the GAPBS load phase.
+type Graph struct {
+	N int
+	M int
+
+	m  *machine.Machine
+	as *pagetable.AddressSpace
+
+	offsets *simdata.Array[int64] // N+1
+	targets *simdata.Array[int32] // M
+	weights *simdata.Array[int32] // M, SSSP edge weights
+}
+
+// Build constructs a CSR graph from edges, symmetrizing (every edge in
+// both directions, as GAPBS does for its synthetic graphs), sorting and
+// deduplicating adjacency lists, and writing the result into simulated
+// memory on m.
+func Build(m *machine.Machine, edges []Edge, n int, seed uint64) *Graph {
+	// Symmetrize and dedupe in host memory (the builder's scratch), then
+	// stream into simulated arrays (the load phase the machine observes).
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	total := 0
+	for u := range adj {
+		l := adj[u]
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		out := l[:0]
+		var prev int32 = -1
+		for _, v := range l {
+			if v != prev {
+				out = append(out, v)
+				prev = v
+			}
+		}
+		adj[u] = out
+		total += len(out)
+	}
+
+	as := m.NewSpace()
+	g := &Graph{N: n, M: total, m: m, as: as}
+	g.offsets = simdata.NewArray[int64](m, as, "csr-offsets", n+1, 8)
+	g.targets = simdata.NewArray[int32](m, as, "csr-targets", max(total, 1), 4)
+	g.weights = simdata.NewArray[int32](m, as, "csr-weights", max(total, 1), 4)
+
+	rng := sim.NewRNG(seed ^ 0x5eed)
+	pos := 0
+	for u := 0; u < n; u++ {
+		g.offsets.Set(u, int64(pos))
+		for _, v := range adj[u] {
+			g.targets.Set(pos, v)
+			g.weights.Set(pos, int32(rng.Intn(255))+1)
+			pos++
+		}
+	}
+	g.offsets.Set(n, int64(pos))
+	return g
+}
+
+// Generate builds a synthetic graph per cfg directly on machine m.
+func Generate(m *machine.Machine, cfg GenConfig) *Graph {
+	return Build(m, GenerateEdges(cfg), cfg.Vertices, cfg.Seed)
+}
+
+// FootprintPages returns the simulated pages the CSR arrays span.
+func (g *Graph) FootprintPages() int {
+	return g.offsets.Pages() + g.targets.Pages() + g.weights.Pages()
+}
+
+// Space returns the graph's address space.
+func (g *Graph) Space() *pagetable.AddressSpace { return g.as }
+
+// Degree returns the out-degree of u (simulated reads of the offset
+// array).
+func (g *Graph) Degree(u int32) int {
+	return int(g.offsets.Get(int(u)+1) - g.offsets.Get(int(u)))
+}
+
+// Neighbors calls fn for each neighbor of u with the edge index, charging
+// the CSR reads.
+func (g *Graph) Neighbors(u int32, fn func(v int32, edge int)) {
+	lo := g.offsets.Get(int(u))
+	hi := g.offsets.Get(int(u) + 1)
+	for e := lo; e < hi; e++ {
+		fn(g.targets.Get(int(e)), int(e))
+	}
+}
+
+// Weight returns the weight of edge index e (simulated read).
+func (g *Graph) Weight(e int) int32 { return g.weights.Get(e) }
+
+// newVertexArray allocates an n-vertex scratch array in the graph's space.
+func vertexArray[T any](g *Graph, name string, elemSize int) *simdata.Array[T] {
+	return simdata.NewArray[T](g.m, g.as, name, g.N, elemSize)
+}
+
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d, %d pages)", g.N, g.M, g.FootprintPages())
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

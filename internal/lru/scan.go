@@ -1,0 +1,213 @@
+package lru
+
+import "multiclock/internal/mem"
+
+// ScanStats summarizes one scanner pass over a vec.
+type ScanStats struct {
+	Scanned     int // pages examined
+	Referenced  int // pages whose hardware accessed bit was found set
+	Activated   int // inactive → active transitions
+	ToPromote   int // active → promote transitions (10)
+	FromPromote int // promote → active decays (11)
+}
+
+// Add accumulates other into s.
+func (s *ScanStats) Add(other ScanStats) {
+	s.Scanned += other.Scanned
+	s.Referenced += other.Referenced
+	s.Activated += other.Activated
+	s.ToPromote += other.ToPromote
+	s.FromPromote += other.FromPromote
+}
+
+// ScanCycle runs one CLOCK pass over the vec's evictable lists with a total
+// budget of batch pages (the paper sets 1024 pages per kpromoted run,
+// §V-C). The budget is divided across lists in proportion to their
+// populations. For each examined page the hardware accessed bit is read and
+// cleared; observed accesses drive the Fig. 4 transitions, and unaccessed
+// promote-list pages decay back to active (11). Pages that do not change
+// lists rotate to the head, which is what makes the pass a CLOCK hand
+// rather than a one-shot sweep.
+func (v *Vec) ScanCycle(batch int) ScanStats {
+	var stats ScanStats
+	// Snapshot list lengths before scanning: transitions push pages onto
+	// the heads of later lists, and those arrivals must not be re-examined
+	// (or decayed) within the same pass.
+	var lens [Unevictable]int
+	total := 0
+	for k := Kind(0); k < Unevictable; k++ {
+		lens[k] = v.lists[k].Len()
+		total += lens[k]
+	}
+	if total == 0 || batch <= 0 {
+		return stats
+	}
+	for k := Kind(0); k < Unevictable; k++ {
+		if lens[k] == 0 {
+			continue
+		}
+		quota := batch * lens[k] / total
+		if quota == 0 {
+			quota = 1
+		}
+		if quota > lens[k] {
+			quota = lens[k]
+		}
+		stats.Add(v.scanList(k, quota))
+	}
+	return stats
+}
+
+// scanList examines up to n pages from the tail of list k.
+func (v *Vec) scanList(k Kind, n int) ScanStats {
+	var stats ScanStats
+	l := &v.lists[k]
+	for i := 0; i < n; i++ {
+		pg := l.Back()
+		if pg == nil {
+			return stats
+		}
+		stats.Scanned++
+		wasKind := k
+		if v.Age(pg) {
+			stats.Referenced++
+			switch nowKind := kindFor(pg); {
+			case wasKind.IsInactive() && nowKind.IsActive():
+				stats.Activated++
+			case wasKind.IsActive() && nowKind.IsPromote():
+				stats.ToPromote++
+			}
+		} else if !k.IsPromote() && pg.Flags.Has(mem.FlagReferenced) {
+			// Decay, Fig. 4 transition (2) (and its active-list twin):
+			// a window with no access costs the page its referenced
+			// state, so climbing the ladder requires accesses in
+			// consecutive windows — frequency, not just recency.
+			pg.ClearFlags(mem.FlagReferenced)
+		}
+		if pg.List() == l {
+			// No list transition fired; give the page its rotation so
+			// the hand advances (or decay promote pages that went cold).
+			if k.IsPromote() {
+				if v.DecayPromote(pg) {
+					stats.FromPromote++
+					continue
+				}
+			}
+			l.MoveToFront(pg)
+		}
+	}
+	return stats
+}
+
+// CollectPromote isolates up to max pages from the promote lists (oldest
+// first) and returns them ready for migration to a higher tier. This is
+// kpromoted's selection step: everything on the promote list is a
+// candidate, and all selected pages are promoted in the same run (§III-B).
+// Pass max < 0 to take everything.
+func (v *Vec) CollectPromote(max int) []*mem.Page {
+	var out []*mem.Page
+	for _, k := range [...]Kind{PromoteAnon, PromoteFile} {
+		l := &v.lists[k]
+		for !l.Empty() {
+			if max >= 0 && len(out) >= max {
+				return out
+			}
+			pg := l.Back()
+			v.Isolate(pg)
+			out = append(out, pg)
+		}
+	}
+	return out
+}
+
+// BalanceActive enforces the active:inactive ratio limit (√(10·n):1,
+// §III-C): while an active list exceeds ratio × its inactive sibling,
+// unreferenced pages from the active tail move to the inactive list —
+// Fig. 4 transition (9) — and referenced ones get a second chance rotation.
+// At most budget pages are examined; the number deactivated is returned.
+func (v *Vec) BalanceActive(ratio float64, budget int) int {
+	moved := 0
+	for _, pair := range [...][2]Kind{{ActiveAnon, InactiveAnon}, {ActiveFile, InactiveFile}} {
+		active, inactive := &v.lists[pair[0]], &v.lists[pair[1]]
+		for budget > 0 && float64(active.Len()) > ratio*float64(inactive.Len()+1) {
+			pg := active.Back()
+			if pg == nil {
+				break
+			}
+			budget--
+			v.Scanned++
+			if pg.TestAndClearAccessed() || pg.Flags.Has(mem.FlagReferenced) {
+				// Second chance: stay active but spend the reference.
+				pg.ClearFlags(mem.FlagReferenced)
+				active.MoveToFront(pg)
+				continue
+			}
+			v.Deactivate(pg)
+			moved++
+		}
+	}
+	return moved
+}
+
+// DemoteCandidatesCold isolates up to max unreferenced pages from the
+// inactive tails without spending any reference state: referenced pages
+// are skipped, not aged. Used by repeat reclaim calls within one virtual
+// instant, where no application access could have re-referenced anything
+// since the last aging pass.
+func (v *Vec) DemoteCandidatesCold(max int) []*mem.Page {
+	var out []*mem.Page
+	for _, k := range [...]Kind{InactiveAnon, InactiveFile} {
+		for pg := v.lists[k].Back(); pg != nil && len(out) < max; {
+			prev := pg.Prev()
+			v.Scanned++
+			if !pg.Accessed && !pg.Flags.Has(mem.FlagReferenced) {
+				v.Isolate(pg)
+				out = append(out, pg)
+			}
+			pg = prev
+		}
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// DemoteCandidates scans the inactive tails for cold pages and isolates up
+// to max of them for migration to a lower tier (or eviction). Pages with a
+// set hardware bit or software referenced flag receive their second chance
+// instead, exactly as shrink_inactive_list keeps referenced pages (§III-C).
+// The scan examines at most one full pass over each inactive list.
+func (v *Vec) DemoteCandidates(max int) []*mem.Page {
+	var out []*mem.Page
+	for _, k := range [...]Kind{InactiveAnon, InactiveFile} {
+		l := &v.lists[k]
+		for budget := l.Len(); budget > 0 && len(out) < max; budget-- {
+			pg := l.Back()
+			if pg == nil {
+				break
+			}
+			v.Scanned++
+			if pg.TestAndClearAccessed() {
+				// Observed unsupervised access: full aging step.
+				v.MarkAccessed(pg)
+				if pg.List() == l {
+					l.MoveToFront(pg)
+				}
+				continue
+			}
+			if pg.Flags.Has(mem.FlagReferenced) {
+				// Software-referenced: spend it, rotate.
+				pg.ClearFlags(mem.FlagReferenced)
+				l.MoveToFront(pg)
+				continue
+			}
+			v.Isolate(pg)
+			out = append(out, pg)
+		}
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,326 @@
+package lru
+
+import (
+	"testing"
+
+	"multiclock/internal/mem"
+)
+
+// populate adds n anon pages and returns them.
+func populate(v *Vec, n int) []*mem.Page {
+	pages := make([]*mem.Page, n)
+	for i := range pages {
+		pages[i] = anonPage()
+		v.Add(pages[i])
+	}
+	return pages
+}
+
+func TestScanCycleEmptyVec(t *testing.T) {
+	v := NewVec(0)
+	stats := v.ScanCycle(1024)
+	if stats.Scanned != 0 {
+		t.Fatal("scanned pages on empty vec")
+	}
+}
+
+func TestScanCycleObservesHardwareBits(t *testing.T) {
+	v := NewVec(0)
+	pages := populate(v, 100)
+	// Touch half the pages like the MMU would.
+	for i := 0; i < 50; i++ {
+		pages[i].Accessed = true
+	}
+	stats := v.ScanCycle(1000)
+	if stats.Referenced != 50 {
+		t.Fatalf("Referenced = %d, want 50", stats.Referenced)
+	}
+	// One observed access: inactive,unref → inactive,ref. No activation yet.
+	if stats.Activated != 0 {
+		t.Fatalf("Activated = %d, want 0 after single access", stats.Activated)
+	}
+	for i := 0; i < 50; i++ {
+		if !pages[i].Flags.Has(mem.FlagReferenced) {
+			t.Fatal("referenced flag missing")
+		}
+	}
+}
+
+func TestScanCycleActivatesOnSecondScan(t *testing.T) {
+	v := NewVec(0)
+	pages := populate(v, 10)
+	for _, pg := range pages {
+		pg.Accessed = true
+	}
+	v.ScanCycle(100)
+	for _, pg := range pages {
+		pg.Accessed = true
+	}
+	stats := v.ScanCycle(100)
+	if stats.Activated != 10 {
+		t.Fatalf("Activated = %d, want 10", stats.Activated)
+	}
+	for _, pg := range pages {
+		if v.KindOf(pg) != ActiveAnon {
+			t.Fatalf("page in %v, want active", v.KindOf(pg))
+		}
+	}
+}
+
+// TestScanCycleFullPromotionPipeline verifies that a page accessed in every
+// scan window climbs to the promote list in four scans, while untouched
+// pages stay inactive: the recency+frequency selection in action.
+func TestScanCycleFullPromotionPipeline(t *testing.T) {
+	v := NewVec(0)
+	hot := populate(v, 8)
+	cold := populate(v, 8)
+	for round := 0; round < 4; round++ {
+		for _, pg := range hot {
+			pg.Accessed = true
+		}
+		v.ScanCycle(1000)
+	}
+	for _, pg := range hot {
+		if v.KindOf(pg) != PromoteAnon {
+			t.Fatalf("hot page in %v after 4 hot scans, want promote", v.KindOf(pg))
+		}
+	}
+	for _, pg := range cold {
+		if v.KindOf(pg) != InactiveAnon {
+			t.Fatalf("cold page in %v, want inactive", v.KindOf(pg))
+		}
+	}
+}
+
+func TestScanCycleDecaysIdlePromotePages(t *testing.T) {
+	v := NewVec(0)
+	pg := anonPage()
+	v.Add(pg)
+	for i := 0; i < 4; i++ {
+		v.MarkAccessed(pg)
+	}
+	if v.KindOf(pg) != PromoteAnon {
+		t.Fatal("setup: page not on promote list")
+	}
+	// First idle scan spends the entry's grace reference; the second
+	// applies (11) promote → active.
+	v.ScanCycle(100)
+	stats := v.ScanCycle(100)
+	if stats.FromPromote != 1 {
+		t.Fatalf("FromPromote = %d, want 1", stats.FromPromote)
+	}
+	if v.KindOf(pg) != ActiveAnon {
+		t.Fatalf("idle promote page in %v, want active", v.KindOf(pg))
+	}
+}
+
+func TestScanCycleKeepsBusyPromotePages(t *testing.T) {
+	v := NewVec(0)
+	pg := anonPage()
+	v.Add(pg)
+	for i := 0; i < 4; i++ {
+		v.MarkAccessed(pg)
+	}
+	pg.Accessed = true // accessed again since entering promote
+	v.ScanCycle(100)
+	if v.KindOf(pg) != PromoteAnon {
+		t.Fatalf("busy promote page in %v, want promote (12)", v.KindOf(pg))
+	}
+}
+
+func TestScanCycleRespectsBudget(t *testing.T) {
+	v := NewVec(0)
+	populate(v, 10000)
+	stats := v.ScanCycle(1024)
+	if stats.Scanned > 1024+int(NumKinds) {
+		t.Fatalf("Scanned = %d, budget was 1024", stats.Scanned)
+	}
+	if stats.Scanned < 1024 {
+		t.Fatalf("Scanned = %d, want full budget on a large list", stats.Scanned)
+	}
+}
+
+func TestScanCycleSplitsBudgetProportionally(t *testing.T) {
+	v := NewVec(0)
+	pages := populate(v, 100)
+	// Promote 50 pages to active.
+	for i := 0; i < 50; i++ {
+		v.MarkAccessed(pages[i])
+		v.MarkAccessed(pages[i])
+	}
+	stats := v.ScanCycle(50)
+	// Both lists must get a share (25 each, ±1 rounding).
+	if stats.Scanned < 48 || stats.Scanned > 52 {
+		t.Fatalf("Scanned = %d, want ≈50", stats.Scanned)
+	}
+}
+
+func TestCollectPromote(t *testing.T) {
+	v := NewVec(0)
+	pages := populate(v, 6)
+	f := filePage()
+	v.Add(f)
+	for _, pg := range append(pages[:3:3], f) {
+		for i := 0; i < 4; i++ {
+			v.MarkAccessed(pg)
+		}
+	}
+	got := v.CollectPromote(-1)
+	if len(got) != 4 {
+		t.Fatalf("collected %d, want 4", len(got))
+	}
+	for _, pg := range got {
+		if !pg.Flags.Has(mem.FlagIsolated) || pg.OnList() {
+			t.Fatal("candidate not isolated")
+		}
+		if !pg.Flags.Has(mem.FlagPromote) {
+			t.Fatal("candidate lost promote flag (needed for putback)")
+		}
+	}
+	if v.Len(PromoteAnon)+v.Len(PromoteFile) != 0 {
+		t.Fatal("promote lists not drained")
+	}
+}
+
+func TestCollectPromoteMax(t *testing.T) {
+	v := NewVec(0)
+	pages := populate(v, 10)
+	for _, pg := range pages {
+		for i := 0; i < 4; i++ {
+			v.MarkAccessed(pg)
+		}
+	}
+	got := v.CollectPromote(3)
+	if len(got) != 3 {
+		t.Fatalf("collected %d, want 3", len(got))
+	}
+	if v.Len(PromoteAnon) != 7 {
+		t.Fatalf("left %d on promote list, want 7", v.Len(PromoteAnon))
+	}
+}
+
+func TestBalanceActiveEnforcesRatio(t *testing.T) {
+	v := NewVec(0)
+	pages := populate(v, 100)
+	// Make 90 pages active, 10 inactive.
+	for i := 0; i < 90; i++ {
+		v.MarkAccessed(pages[i])
+		v.MarkAccessed(pages[i])
+	}
+	if v.Len(ActiveAnon) != 90 {
+		t.Fatalf("setup: active = %d", v.Len(ActiveAnon))
+	}
+	moved := v.BalanceActive(1.0, 1000)
+	if moved == 0 {
+		t.Fatal("nothing deactivated despite 9:1 ratio")
+	}
+	a, i := v.Len(ActiveAnon), v.Len(InactiveAnon)
+	if float64(a) > 1.0*float64(i+1)+1 {
+		t.Fatalf("ratio not enforced: active=%d inactive=%d", a, i)
+	}
+}
+
+func TestBalanceActiveSecondChance(t *testing.T) {
+	v := NewVec(0)
+	pages := populate(v, 20)
+	for _, pg := range pages {
+		v.MarkAccessed(pg)
+		v.MarkAccessed(pg) // all active
+	}
+	// All recently referenced via hardware bit: first pass spends bits.
+	for _, pg := range pages {
+		pg.Accessed = true
+	}
+	moved := v.BalanceActive(1.0, 20)
+	if moved != 0 {
+		t.Fatalf("referenced pages deactivated: %d", moved)
+	}
+	// Second pass with bits spent moves them.
+	moved = v.BalanceActive(1.0, 20)
+	if moved == 0 {
+		t.Fatal("cold active pages kept despite ratio")
+	}
+}
+
+func TestBalanceActiveBudget(t *testing.T) {
+	v := NewVec(0)
+	pages := populate(v, 100)
+	for _, pg := range pages {
+		v.MarkAccessed(pg)
+		v.MarkAccessed(pg)
+	}
+	before := v.Scanned
+	v.BalanceActive(0.0, 5)
+	if v.Scanned-before > 10 { // 5 per type max
+		t.Fatalf("budget exceeded: scanned %d", v.Scanned-before)
+	}
+}
+
+func TestDemoteCandidatesTakesColdOnly(t *testing.T) {
+	v := NewVec(0)
+	pages := populate(v, 20)
+	// Pages 0-9 hot (hardware bit), 10-19 cold.
+	for i := 0; i < 10; i++ {
+		pages[i].Accessed = true
+	}
+	got := v.DemoteCandidates(20)
+	if len(got) != 10 {
+		t.Fatalf("candidates = %d, want 10", len(got))
+	}
+	for _, pg := range got {
+		for i := 0; i < 10; i++ {
+			if pg == pages[i] {
+				t.Fatal("hot page selected for demotion")
+			}
+		}
+		if !pg.Flags.Has(mem.FlagIsolated) {
+			t.Fatal("candidate not isolated")
+		}
+	}
+}
+
+func TestDemoteCandidatesSecondChanceForSoftRef(t *testing.T) {
+	v := NewVec(0)
+	pages := populate(v, 10)
+	for _, pg := range pages {
+		v.MarkAccessed(pg) // inactive+ref (software flag)
+	}
+	got := v.DemoteCandidates(10)
+	if len(got) != 0 {
+		t.Fatalf("soft-referenced pages demoted: %d", len(got))
+	}
+	// Their reference was spent; next pass takes them.
+	got = v.DemoteCandidates(10)
+	if len(got) != 10 {
+		t.Fatalf("second pass candidates = %d, want 10", len(got))
+	}
+}
+
+func TestDemoteCandidatesMax(t *testing.T) {
+	v := NewVec(0)
+	populate(v, 50)
+	got := v.DemoteCandidates(7)
+	if len(got) != 7 {
+		t.Fatalf("candidates = %d, want 7", len(got))
+	}
+}
+
+func TestDemoteCandidatesCoversFileList(t *testing.T) {
+	v := NewVec(0)
+	for i := 0; i < 5; i++ {
+		v.Add(filePage())
+	}
+	got := v.DemoteCandidates(10)
+	if len(got) != 5 {
+		t.Fatalf("file candidates = %d, want 5", len(got))
+	}
+}
+
+func TestScanStatsAdd(t *testing.T) {
+	a := ScanStats{Scanned: 1, Referenced: 2, Activated: 3, ToPromote: 4, FromPromote: 5}
+	b := a
+	a.Add(b)
+	if a.Scanned != 2 || a.Referenced != 4 || a.Activated != 6 || a.ToPromote != 8 || a.FromPromote != 10 {
+		t.Fatalf("Add: %+v", a)
+	}
+}

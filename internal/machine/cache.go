@@ -1,0 +1,99 @@
+package machine
+
+import "multiclock/internal/mem"
+
+// pageCache is a small fully-associative LRU of recently-touched 4 KiB
+// frames, modelling the CPU cache hierarchy's reach at page granularity.
+// It filters the latency charged for accesses — hits cost Config.CacheHit —
+// without hiding them from the paging hardware (the PTE accessed bit is
+// still set, as the TLB fill does on real machines). Compound (huge) pages
+// are cached per covered base frame, not per descriptor: a 2 MiB page does
+// not fit in the cache just because its descriptor was seen.
+type pageCache struct {
+	cap   int
+	index map[cacheKey]*cacheNode
+	head  *cacheNode // most recently used
+	tail  *cacheNode
+
+	Hits, Misses int64
+}
+
+// cacheKey identifies one base-frame-sized unit.
+type cacheKey struct {
+	pg  *mem.Page
+	sub int32 // base-frame index within a compound page; 0 for base pages
+}
+
+type cacheNode struct {
+	key        cacheKey
+	prev, next *cacheNode
+}
+
+func newPageCache(capacity int) *pageCache {
+	return &pageCache{cap: capacity, index: make(map[cacheKey]*cacheNode, capacity+1)}
+}
+
+// Touch records an access to the page's sub-frame and reports a hit.
+func (c *pageCache) Touch(pg *mem.Page, sub int32) bool {
+	key := cacheKey{pg, sub}
+	if n, ok := c.index[key]; ok {
+		c.Hits++
+		c.moveToFront(n)
+		return true
+	}
+	c.Misses++
+	n := &cacheNode{key: key}
+	c.index[key] = n
+	c.pushFront(n)
+	if len(c.index) > c.cap {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.index, evict.key)
+	}
+	return false
+}
+
+// Invalidate drops every cached frame of the page (migration or free).
+func (c *pageCache) Invalidate(pg *mem.Page) {
+	for n := c.head; n != nil; {
+		next := n.next
+		if n.key.pg == pg {
+			c.unlink(n)
+			delete(c.index, n.key)
+		}
+		n = next
+	}
+}
+
+func (c *pageCache) pushFront(n *cacheNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	} else {
+		c.tail = n
+	}
+	c.head = n
+}
+
+func (c *pageCache) unlink(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *pageCache) moveToFront(n *cacheNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

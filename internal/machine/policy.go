@@ -1,0 +1,114 @@
+package machine
+
+import (
+	"multiclock/internal/lru"
+	"multiclock/internal/mem"
+	"multiclock/internal/sim"
+)
+
+// Policy is a tiering policy: it decides where pages are born, what an
+// access costs, and how pages move between tiers over time (via daemons it
+// installs in Attach). Implementations: MULTI-CLOCK (internal/core) and the
+// baselines (internal/policy).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+
+	// Attach wires the policy to its machine and starts its daemons.
+	// Called exactly once, from New.
+	Attach(m *Machine)
+
+	// AllocOrder is the tier fallback order for page birth.
+	AllocOrder() []mem.Tier
+
+	// PageBirth runs after a fresh page is mapped and on the LRU.
+	PageBirth(pg *mem.Page)
+
+	// PageFreed runs before a page's frame is released.
+	PageFreed(pg *mem.Page)
+
+	// HintFault runs when an application access trips a poisoned PTE
+	// (software-fault access tracking). Only fault-based policies poison
+	// pages, so most implementations never see this call.
+	HintFault(pg *mem.Page, write bool)
+
+	// Access returns the device latency for one application access to pg.
+	// Most policies return the tier's base cost; Memory-mode replaces it
+	// with its cache model.
+	Access(pg *mem.Page, write bool) sim.Duration
+
+	// Pressure notifies the policy that node fell below its low watermark
+	// after an allocation (the kswapd wakeup path).
+	Pressure(node mem.NodeID)
+
+	// DirectReclaim synchronously frees at least n frames anywhere in the
+	// machine when allocation has failed everywhere, returning the number
+	// actually freed. Zero means OOM.
+	DirectReclaim(n int) int
+}
+
+// Base provides the default behaviour shared by every policy: DRAM-first
+// birth, base tier latency, and swap-based direct reclaim from the lowest
+// tier. Embed it and override what differs.
+type Base struct {
+	M *Machine
+}
+
+// Attach stores the machine reference. Policies embedding Base should call
+// this from their own Attach before installing daemons.
+func (b *Base) Attach(m *Machine) { b.M = m }
+
+// AllocOrder births pages in DRAM while it lasts, then PM (§II-A).
+func (b *Base) AllocOrder() []mem.Tier { return mem.DefaultOrder() }
+
+// PageBirth is a no-op.
+func (b *Base) PageBirth(pg *mem.Page) {}
+
+// PageFreed is a no-op.
+func (b *Base) PageFreed(pg *mem.Page) {}
+
+// HintFault is a no-op: reference-bit policies never poison PTEs.
+func (b *Base) HintFault(pg *mem.Page, write bool) {}
+
+// Access charges the base latency of the page's tier.
+func (b *Base) Access(pg *mem.Page, write bool) sim.Duration {
+	return b.M.Mem.Lat.AccessCost(b.M.Mem.Tier(pg), write)
+}
+
+// Pressure is a no-op: static tiering does not react to watermarks.
+func (b *Base) Pressure(node mem.NodeID) {}
+
+// DirectReclaim swaps cold pages out of the lowest tier (and, failing
+// that, any tier), the shared last-resort eviction path (§III-C). Several
+// aging rounds may be needed: the first pass over recently-touched pages
+// only spends their reference bits (second chance).
+func (b *Base) DirectReclaim(n int) int {
+	freed := 0
+	for round := 0; round < 4 && freed < n; round++ {
+		for t := mem.NumTiers - 1; t >= 0 && freed < n; t-- {
+			for _, id := range b.M.Mem.TierNodes(mem.Tier(t)) {
+				vec := b.M.Vecs[id]
+				// Push active pages toward inactive so sustained
+				// pressure always makes progress.
+				vec.BalanceActive(0, n-freed)
+				for _, pg := range vec.DemoteCandidates(n - freed) {
+					b.M.SwapOut(pg)
+					freed++
+				}
+				if freed >= n {
+					break
+				}
+			}
+		}
+	}
+	return freed
+}
+
+// ScanTax charges the daemon-side cost of one scanning wakeup — the fixed
+// wakeup disturbance plus per-page examination — to the machine's
+// interference account.
+func (b *Base) ScanTax(stats lru.ScanStats) {
+	b.M.Mem.Counters.PagesScanned += int64(stats.Scanned)
+	b.M.ChargeTax(b.M.Mem.Lat.DaemonWakeup +
+		sim.Duration(stats.Scanned)*b.M.Mem.Lat.DaemonScanPage)
+}

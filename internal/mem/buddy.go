@@ -1,0 +1,145 @@
+package mem
+
+import "fmt"
+
+// MaxOrder is the largest buddy block: 2^9 frames = 2 MiB, the huge-page
+// size on x86 — the granularity a THP extension would allocate at.
+const MaxOrder = 9
+
+// buddy is a binary-buddy frame allocator for one node, the analogue of
+// the kernel's zone free lists in mm/page_alloc.c: per-order free lists,
+// block splitting on allocation and buddy coalescing on free.
+type buddy struct {
+	frames int
+	free   [MaxOrder + 1][]FrameID
+	// state[f] encodes frame f's role: stateAllocated, or order+1 when f
+	// heads a free block of that order, or stateTail when f is inside a
+	// free block headed elsewhere.
+	state    []uint8
+	nfree    int
+	perOrder [MaxOrder + 1]int
+}
+
+const (
+	stateAllocated uint8 = 0
+	stateTail      uint8 = 0xff
+)
+
+// newBuddy covers [0, frames) greedily with maximal aligned blocks.
+func newBuddy(frames int) *buddy {
+	b := &buddy{frames: frames, state: make([]uint8, frames)}
+	for i := range b.state {
+		b.state[i] = stateTail
+	}
+	f := 0
+	for f < frames {
+		o := MaxOrder
+		for o > 0 && (f&(1<<o-1) != 0 || f+(1<<o) > frames) {
+			o--
+		}
+		b.insert(FrameID(f), o)
+		f += 1 << o
+	}
+	b.nfree = frames
+	return b
+}
+
+// insert adds a free block without coalescing.
+func (b *buddy) insert(f FrameID, order int) {
+	b.free[order] = append(b.free[order], f)
+	b.state[f] = uint8(order) + 1
+	for i := int(f) + 1; i < int(f)+(1<<order); i++ {
+		b.state[i] = stateTail
+	}
+	b.perOrder[order]++
+}
+
+// removeFrom deletes block f from the order's free list.
+func (b *buddy) removeFrom(f FrameID, order int) {
+	list := b.free[order]
+	for i, v := range list {
+		if v == f {
+			list[i] = list[len(list)-1]
+			b.free[order] = list[:len(list)-1]
+			b.perOrder[order]--
+			return
+		}
+	}
+	panic(fmt.Sprintf("mem: buddy block %d missing from order-%d list", f, order))
+}
+
+// Alloc returns the first frame of a 2^order block, or NoFrame.
+func (b *buddy) Alloc(order int) FrameID {
+	if order < 0 || order > MaxOrder {
+		panic("mem: buddy order out of range")
+	}
+	o := order
+	for o <= MaxOrder && len(b.free[o]) == 0 {
+		o++
+	}
+	if o > MaxOrder {
+		return NoFrame
+	}
+	// Pop the lowest-addressed block for deterministic, kernel-like
+	// low-memory-first behaviour.
+	list := b.free[o]
+	best := 0
+	for i, v := range list {
+		if v < list[best] {
+			best = i
+		}
+	}
+	f := list[best]
+	list[best] = list[len(list)-1]
+	b.free[o] = list[:len(list)-1]
+	b.perOrder[o]--
+
+	// Split down to the requested order, returning upper halves.
+	for o > order {
+		o--
+		b.insert(f+FrameID(1<<o), o)
+	}
+	b.state[f] = stateAllocated
+	for i := int(f) + 1; i < int(f)+(1<<order); i++ {
+		b.state[i] = stateAllocated
+	}
+	b.nfree -= 1 << order
+	return f
+}
+
+// Free returns a 2^order block and coalesces with free buddies.
+func (b *buddy) Free(f FrameID, order int) {
+	if order < 0 || order > MaxOrder {
+		panic("mem: buddy order out of range")
+	}
+	if int(f)&(1<<order-1) != 0 {
+		panic(fmt.Sprintf("mem: freeing misaligned order-%d block at %d", order, f))
+	}
+	if int(f)+(1<<order) > b.frames {
+		panic("mem: freeing past end of node")
+	}
+	if b.state[f] != stateAllocated {
+		panic(fmt.Sprintf("mem: double free of frame %d", f))
+	}
+	b.nfree += 1 << order
+	for order < MaxOrder {
+		bud := f ^ FrameID(1<<order)
+		if int(bud)+(1<<order) > b.frames || b.state[bud] != uint8(order)+1 {
+			break
+		}
+		b.removeFrom(bud, order)
+		b.state[bud] = stateTail
+		if bud < f {
+			f = bud
+		}
+		order++
+	}
+	b.insert(f, order)
+}
+
+// FreeFrames reports free frames.
+func (b *buddy) FreeFrames() int { return b.nfree }
+
+// FreeBlocks reports free block counts per order (diagnostics and
+// fragmentation tests).
+func (b *buddy) FreeBlocks() [MaxOrder + 1]int { return b.perOrder }

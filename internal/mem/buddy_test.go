@@ -1,0 +1,249 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multiclock/internal/sim"
+)
+
+func TestBuddyInitCoversAllFrames(t *testing.T) {
+	for _, frames := range []int{1, 7, 512, 513, 1000, 4096} {
+		b := newBuddy(frames)
+		if b.FreeFrames() != frames {
+			t.Fatalf("frames=%d: free=%d", frames, b.FreeFrames())
+		}
+		total := 0
+		for o, n := range b.FreeBlocks() {
+			total += n << o
+		}
+		if total != frames {
+			t.Fatalf("frames=%d: blocks cover %d", frames, total)
+		}
+	}
+}
+
+func TestBuddyAllocOrder0(t *testing.T) {
+	b := newBuddy(16)
+	seen := map[FrameID]bool{}
+	for i := 0; i < 16; i++ {
+		f := b.Alloc(0)
+		if f == NoFrame {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if seen[f] {
+			t.Fatalf("frame %d handed out twice", f)
+		}
+		seen[f] = true
+	}
+	if b.Alloc(0) != NoFrame {
+		t.Fatal("alloc on exhausted allocator succeeded")
+	}
+	if b.FreeFrames() != 0 {
+		t.Fatal("free count")
+	}
+}
+
+func TestBuddyLowFramesFirst(t *testing.T) {
+	b := newBuddy(1024)
+	if f := b.Alloc(0); f != 0 {
+		t.Fatalf("first frame = %d, want 0", f)
+	}
+	if f := b.Alloc(0); f != 1 {
+		t.Fatalf("second frame = %d, want 1", f)
+	}
+}
+
+func TestBuddySplitAndCoalesce(t *testing.T) {
+	b := newBuddy(512)
+	// One order-0 alloc splits the order-9 block into 0..8 remainders.
+	f := b.Alloc(0)
+	blocks := b.FreeBlocks()
+	if blocks[MaxOrder] != 0 {
+		t.Fatal("order-9 block survived a split")
+	}
+	for o := 0; o < MaxOrder; o++ {
+		if blocks[o] != 1 {
+			t.Fatalf("after split, order %d has %d blocks, want 1", o, blocks[o])
+		}
+	}
+	// Freeing coalesces all the way back to one order-9 block.
+	b.Free(f, 0)
+	blocks = b.FreeBlocks()
+	if blocks[MaxOrder] != 1 {
+		t.Fatalf("coalescing failed: %v", blocks)
+	}
+	for o := 0; o < MaxOrder; o++ {
+		if blocks[o] != 0 {
+			t.Fatalf("leftover order-%d blocks: %v", o, blocks)
+		}
+	}
+}
+
+func TestBuddyHugeAlloc(t *testing.T) {
+	b := newBuddy(2048)
+	f := b.Alloc(MaxOrder) // a 2 MiB "huge page"
+	if f == NoFrame || int(f)&(1<<MaxOrder-1) != 0 {
+		t.Fatalf("huge alloc at %d (misaligned or failed)", f)
+	}
+	if b.FreeFrames() != 2048-512 {
+		t.Fatal("free accounting")
+	}
+	b.Free(f, MaxOrder)
+	if b.FreeFrames() != 2048 {
+		t.Fatal("huge free accounting")
+	}
+}
+
+func TestBuddyFragmentationBlocksHugeAllocs(t *testing.T) {
+	b := newBuddy(512)
+	// Allocate every frame, free every other one: no order-1 block exists.
+	var frames []FrameID
+	for {
+		f := b.Alloc(0)
+		if f == NoFrame {
+			break
+		}
+		frames = append(frames, f)
+	}
+	for i := 0; i < len(frames); i += 2 {
+		b.Free(frames[i], 0)
+	}
+	if b.FreeFrames() != 256 {
+		t.Fatal("half should be free")
+	}
+	if b.Alloc(1) != NoFrame {
+		t.Fatal("order-1 alloc satisfied despite full fragmentation")
+	}
+	// Freeing the other half heals everything.
+	for i := 1; i < len(frames); i += 2 {
+		b.Free(frames[i], 0)
+	}
+	if b.FreeBlocks()[MaxOrder] != 1 {
+		t.Fatal("full coalescing after heal failed")
+	}
+}
+
+func TestBuddyDoubleFreePanics(t *testing.T) {
+	b := newBuddy(16)
+	f := b.Alloc(0)
+	b.Free(f, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b.Free(f, 0)
+}
+
+func TestBuddyMisalignedFreePanics(t *testing.T) {
+	b := newBuddy(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b.Free(1, 1)
+}
+
+func TestBuddyBadOrderPanics(t *testing.T) {
+	b := newBuddy(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b.Alloc(MaxOrder + 1)
+}
+
+// Property: arbitrary alloc/free sequences conserve frames and never hand
+// out overlapping blocks.
+func TestBuddyConservationProperty(t *testing.T) {
+	type op struct {
+		Alloc bool
+		Order uint8
+	}
+	f := func(ops []op, seed uint64) bool {
+		const frames = 1024
+		b := newBuddy(frames)
+		rng := sim.NewRNG(seed)
+		type block struct {
+			f     FrameID
+			order int
+		}
+		var live []block
+		owner := make([]int, frames) // 0 = free, else block id
+		nextID := 1
+		for _, o := range ops {
+			if o.Alloc || len(live) == 0 {
+				order := int(o.Order) % (MaxOrder + 1)
+				f := b.Alloc(order)
+				if f == NoFrame {
+					continue
+				}
+				for i := int(f); i < int(f)+(1<<order); i++ {
+					if owner[i] != 0 {
+						return false // overlap!
+					}
+					owner[i] = nextID
+				}
+				nextID++
+				live = append(live, block{f, order})
+			} else {
+				i := rng.Intn(len(live))
+				blk := live[i]
+				b.Free(blk.f, blk.order)
+				for j := int(blk.f); j < int(blk.f)+(1<<blk.order); j++ {
+					owner[j] = 0
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			// Conservation.
+			used := 0
+			for _, blk := range live {
+				used += 1 << blk.order
+			}
+			if b.FreeFrames() != frames-used {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: free-list metadata always covers exactly the free frames.
+func TestBuddyMetadataConsistencyProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		frames := int(n%2000) + 64
+		b := newBuddy(frames)
+		rng := sim.NewRNG(seed)
+		var held []FrameID
+		for i := 0; i < 500; i++ {
+			if rng.Intn(2) == 0 {
+				if f := b.Alloc(0); f != NoFrame {
+					held = append(held, f)
+				}
+			} else if len(held) > 0 {
+				j := rng.Intn(len(held))
+				b.Free(held[j], 0)
+				held[j] = held[len(held)-1]
+				held = held[:len(held)-1]
+			}
+			total := 0
+			for o, cnt := range b.FreeBlocks() {
+				total += cnt << o
+			}
+			if total != b.FreeFrames() {
+				return false
+			}
+		}
+		return b.FreeFrames() == frames-len(held)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

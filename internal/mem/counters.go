@@ -1,0 +1,81 @@
+package mem
+
+import (
+	"fmt"
+	"strings"
+
+	"multiclock/internal/sim"
+)
+
+// Counters are vmstat-style event counts for one System. Policies and the
+// machine increment them; the benchmark harness and telemetry read them.
+type Counters struct {
+	// Per-tier application access counts.
+	Reads  [NumTiers]int64
+	Writes [NumTiers]int64
+
+	// CacheFiltered counts accesses absorbed by the modelled CPU cache
+	// hierarchy; they never reach the memory system and are excluded from
+	// the per-tier counts above.
+	CacheFiltered int64
+
+	Allocs      [NumTiers]int64
+	Frees       [NumTiers]int64
+	MinorFaults int64
+	HintFaults  int64
+
+	// Promotions moves a page to a higher tier; Demotions the reverse.
+	Promotions int64
+	Demotions  int64
+	// MigrateFails counts migrations abandoned for lack of a destination
+	// frame or a pinned page.
+	MigrateFails int64
+
+	SwapOuts int64
+	SwapIns  int64
+	OOMKills int64
+	// HugeSplits counts compound pages broken into base pages (reclaim
+	// splitting).
+	HugeSplits int64
+
+	// PagesScanned counts pages examined by list scanners (daemon work).
+	PagesScanned int64
+
+	// MigrationBusy is total virtual time daemons spent copying pages.
+	MigrationBusy sim.Duration
+}
+
+// DRAMHitRatio returns the fraction of application accesses served from
+// DRAM, the primary explanatory metric for tiering performance.
+func (c *Counters) DRAMHitRatio() float64 {
+	dram := c.Reads[TierDRAM] + c.Writes[TierDRAM]
+	total := dram + c.Reads[TierPM] + c.Writes[TierPM]
+	if total == 0 {
+		return 0
+	}
+	return float64(dram) / float64(total)
+}
+
+// TotalAccesses returns the number of simulated application accesses.
+func (c *Counters) TotalAccesses() int64 {
+	var t int64
+	for i := Tier(0); i < NumTiers; i++ {
+		t += c.Reads[i] + c.Writes[i]
+	}
+	return t
+}
+
+// String renders the counters as a compact multi-line report.
+func (c *Counters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accesses: DRAM r=%d w=%d, PM r=%d w=%d (DRAM hit %.1f%%)\n",
+		c.Reads[TierDRAM], c.Writes[TierDRAM], c.Reads[TierPM], c.Writes[TierPM],
+		100*c.DRAMHitRatio())
+	fmt.Fprintf(&b, "allocs: DRAM=%d PM=%d  frees: DRAM=%d PM=%d  minor faults=%d hint faults=%d\n",
+		c.Allocs[TierDRAM], c.Allocs[TierPM], c.Frees[TierDRAM], c.Frees[TierPM],
+		c.MinorFaults, c.HintFaults)
+	fmt.Fprintf(&b, "promotions=%d demotions=%d migrate-fails=%d swapouts=%d oom=%d scanned=%d migration-busy=%s",
+		c.Promotions, c.Demotions, c.MigrateFails, c.SwapOuts, c.OOMKills, c.PagesScanned,
+		c.MigrationBusy)
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package mem
+
+import "multiclock/internal/sim"
+
+// LatencyModel gives the virtual-time cost of every memory-system operation.
+// The defaults are calibrated to published DRAM vs. Intel Optane DCPMM
+// measurements: PM byte-addressable latency "within an order of magnitude of
+// DRAM" (§I) with asymmetric reads and writes (§VII). Absolute values do not
+// need to match the authors' testbed — only the ratios shape the results.
+type LatencyModel struct {
+	// Read and Write are per-tier access latencies for one page-granular
+	// application access (a cache-missing load or store).
+	Read  [NumTiers]sim.Duration
+	Write [NumTiers]sim.Duration
+
+	// PageCopy is the cost of migrating one page from tier src to tier
+	// dst: allocation, 4 KiB copy, and remapping (migrate_pages).
+	PageCopy [NumTiers][NumTiers]sim.Duration
+
+	// MigrationTax is the portion of a migration charged to the
+	// application timeline (TLB shootdown, page-table locking) even when
+	// the copy itself runs on a daemon.
+	MigrationTax sim.Duration
+
+	// MinorFault is the cost of a first-touch fault allocating a page.
+	MinorFault sim.Duration
+
+	// HintFault is the cost of a software hint page fault used by
+	// PTE-poisoning access trackers (AutoTiering/Thermostat-style); the
+	// paper names this overhead as those systems' key weakness (§II-D).
+	HintFault sim.Duration
+
+	// SwapOut is the cost of writing a page to backing storage when the
+	// lowest tier itself is under pressure (§III-C last resort).
+	SwapOut sim.Duration
+
+	// SwapIn is the major-fault cost of reading a swapped page back from
+	// backing storage.
+	SwapIn sim.Duration
+
+	// DaemonScanPage is the daemon-side CPU cost of examining one page
+	// during a list scan; it bounds how much scanning a wakeup can do.
+	DaemonScanPage sim.Duration
+
+	// DaemonWakeup is the fixed cost of one daemon wakeup (scheduling,
+	// cache disturbance, LRU lock acquisition). Frequent wakeups pay it
+	// often — the "excessive context switches" the paper warns about
+	// when kpromoted is scheduled too aggressively (§III-B).
+	DaemonWakeup sim.Duration
+}
+
+// DefaultLatency returns the calibrated model used throughout the
+// evaluation.
+func DefaultLatency() LatencyModel {
+	var m LatencyModel
+	m.Read[TierDRAM] = 80 * sim.Nanosecond
+	m.Write[TierDRAM] = 90 * sim.Nanosecond
+	// Optane: random read ≈ 3-4× DRAM; writes costlier still once the
+	// write-pending queue backs up.
+	m.Read[TierPM] = 300 * sim.Nanosecond
+	m.Write[TierPM] = 450 * sim.Nanosecond
+
+	copyCost := func(src, dst Tier) sim.Duration {
+		// 4 KiB over the slower of the two tiers' bandwidth plus fixed
+		// remap overhead. DRAM→DRAM ≈ 1.2 µs, anything touching PM ≈ 3 µs.
+		if src == TierPM || dst == TierPM {
+			return 3 * sim.Microsecond
+		}
+		return 1200 * sim.Nanosecond
+	}
+	for s := Tier(0); s < NumTiers; s++ {
+		for d := Tier(0); d < NumTiers; d++ {
+			m.PageCopy[s][d] = copyCost(s, d)
+		}
+	}
+	// Migrating a mapped page interrupts the application for page-table
+	// locking and TLB shootdown IPIs on every core — microseconds of
+	// application time per page, which is why unselective promotion is
+	// expensive (the paper's §V-D observation, and Nimble's own
+	// motivation).
+	m.MigrationTax = 2 * sim.Microsecond
+	m.MinorFault = 1500 * sim.Nanosecond
+	m.HintFault = 2500 * sim.Nanosecond
+	m.SwapOut = 25 * sim.Microsecond
+	m.SwapIn = 60 * sim.Microsecond // NVMe-SSD major fault
+	m.DaemonScanPage = 150 * sim.Nanosecond
+	m.DaemonWakeup = 20 * sim.Microsecond
+	return m
+}
+
+// AccessCost returns the latency of one application access to tier t.
+func (m *LatencyModel) AccessCost(t Tier, write bool) sim.Duration {
+	if write {
+		return m.Write[t]
+	}
+	return m.Read[t]
+}

@@ -1,0 +1,315 @@
+// Package mem models the physical side of a hybrid (DRAM + persistent
+// memory) machine: NUMA nodes that each belong to a memory tier, physical
+// frames with free-list allocation and watermark-based pressure levels, page
+// descriptors (the analogue of Linux's struct page), page migration between
+// nodes, a calibrated latency model for the tiers, and vmstat-style event
+// counters.
+//
+// The package corresponds to the parts of the paper's prototype that live in
+// mm/page_alloc.c, include/linux/mmzone.h and the DAX-KMEM driver tagging of
+// persistent-memory nodes (MULTI-CLOCK §IV): PM capacity is exposed as
+// additional NUMA nodes whose pglist_data carries a tier tag.
+package mem
+
+import (
+	"fmt"
+
+	"multiclock/internal/sim"
+)
+
+// PageSize is the size of a page/frame in bytes (4 KiB, matching the
+// paper's base pages; MULTI-CLOCK handles all page types, §II-D Table I).
+const PageSize = 4096
+
+// Tier identifies a memory tier, ordered from highest performing (lowest
+// value) to lowest performing.
+type Tier int8
+
+const (
+	// TierDRAM is the high-performance, low-capacity tier.
+	TierDRAM Tier = iota
+	// TierPM is the persistent-memory tier: higher capacity, higher
+	// latency, asymmetric reads and writes (Intel Optane DCPMM-like).
+	TierPM
+	// NumTiers is the number of tiers the model supports.
+	NumTiers
+)
+
+// String returns the conventional name of the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierDRAM:
+		return "DRAM"
+	case TierPM:
+		return "PM"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// NodeID names a NUMA node within a System.
+type NodeID int32
+
+// NoNode is the invalid node ID.
+const NoNode NodeID = -1
+
+// FrameID is a physical frame number within its node.
+type FrameID int32
+
+// NoFrame is the invalid frame number.
+const NoFrame FrameID = -1
+
+// PageFlags is the page descriptor flag word, mirroring the kernel's
+// page->flags. MULTI-CLOCK adds PagePromote to the standard set (§IV).
+type PageFlags uint16
+
+const (
+	// FlagLRU is set while the page sits on one of the LRU lists.
+	FlagLRU PageFlags = 1 << iota
+	// FlagActive marks pages on an active list.
+	FlagActive
+	// FlagReferenced is the software referenced flag maintained by
+	// mark_page_accessed-style aging (distinct from the hardware
+	// accessed bit below).
+	FlagReferenced
+	// FlagPromote is MULTI-CLOCK's new flag: the page belongs to the
+	// promote list and is a candidate for migration to a higher tier.
+	FlagPromote
+	// FlagDirty tracks whether the page has been written since the last
+	// cleaning; demoting or swapping a dirty page costs a writeback.
+	FlagDirty
+	// FlagUnevictable pins the page (mlock); it can be neither evicted
+	// nor migrated.
+	FlagUnevictable
+	// FlagFile marks file-backed pages; unset means anonymous.
+	FlagFile
+	// FlagIsolated is set while the page is detached from the LRU for
+	// migration, preventing concurrent list manipulation.
+	FlagIsolated
+	// FlagPoisoned marks a PTE-poisoned page used by hint-page-fault
+	// access tracking (AutoTiering/Thermostat-style baselines); the next
+	// access takes a software fault.
+	FlagPoisoned
+)
+
+// Has reports whether all bits in f are set.
+func (p PageFlags) Has(f PageFlags) bool { return p&f == f }
+
+// Page is a page descriptor: one logical page of application memory. Unlike
+// the kernel, which has one struct page per physical frame, the simulator
+// keeps the descriptor stable across migration and updates its (Node, Frame)
+// placement — external references (page tables, LRU lists, policy state)
+// remain valid, which is exactly what migrate_pages achieves by remapping.
+type Page struct {
+	Node  NodeID
+	Frame FrameID
+	Flags PageFlags
+
+	// Order is the compound-page order: 0 for a base page, MaxOrder (9)
+	// for a 2 MiB transparent huge page. The descriptor covers
+	// 2^Order frames starting at Frame, like a compound head page.
+	Order uint8
+
+	// VA and Space back-reference the single virtual mapping (our rmap).
+	VA    uint64
+	Space int32
+
+	// Accessed and HWDirty model the hardware PTE accessed/dirty bits the
+	// CPU sets on load/store. MULTI-CLOCK's scanners read and clear the
+	// accessed bit to detect unsupervised accesses (§III-A.2).
+	Accessed bool
+	HWDirty  bool
+
+	// BornAt is the virtual time of first allocation (page "birth").
+	BornAt sim.Time
+
+	// Hist is scratch space for policies that keep per-page history
+	// (AutoTiering-OPM's N-bit coldness vector).
+	Hist uint8
+	// LastHint is the virtual time of the last hint page fault taken on
+	// this page (software-fault access tracking baselines).
+	LastHint sim.Time
+
+	// Freq and LastUse are emulator-style full profiling scratch: exact
+	// per-page access counts and timestamps. Real kernels cannot afford
+	// them (the paper's argument against LFU, §II-D); the AMP baseline —
+	// which was designed on an emulator — uses them here.
+	Freq    uint32
+	LastUse sim.Time
+
+	// PromotedAt is the virtual time of the page's most recent promotion,
+	// or 0 if never promoted; used by re-access telemetry (Fig. 9).
+	PromotedAt sim.Time
+
+	prev, next *Page
+	list       *PageList
+}
+
+// Tier reports the tier of the node currently holding the page. It requires
+// the owning System for the node→tier mapping.
+func (s *System) Tier(pg *Page) Tier { return s.Nodes[pg.Node].Tier }
+
+// Frames returns the number of physical frames the descriptor covers.
+func (pg *Page) Frames() int { return 1 << pg.Order }
+
+// IsHuge reports whether this is a compound (huge) page.
+func (pg *Page) IsHuge() bool { return pg.Order > 0 }
+
+// OnList reports whether the page currently sits on a PageList.
+func (pg *Page) OnList() bool { return pg.list != nil }
+
+// Next returns the page following pg on its list (toward the tail), or nil.
+func (pg *Page) Next() *Page { return pg.next }
+
+// Prev returns the page preceding pg on its list (toward the head), or nil.
+func (pg *Page) Prev() *Page { return pg.prev }
+
+// List returns the list currently holding the page, or nil.
+func (pg *Page) List() *PageList { return pg.list }
+
+// IsFile reports whether the page is file-backed.
+func (pg *Page) IsFile() bool { return pg.Flags.Has(FlagFile) }
+
+// SetFlags sets the given flag bits.
+func (pg *Page) SetFlags(f PageFlags) { pg.Flags |= f }
+
+// ClearFlags clears the given flag bits.
+func (pg *Page) ClearFlags(f PageFlags) { pg.Flags &^= f }
+
+// TestAndClearAccessed returns the hardware accessed bit and clears it,
+// mirroring ptep_test_and_clear_young. This is how the CLOCK hand observes
+// unsupervised (mmap'd) accesses.
+func (pg *Page) TestAndClearAccessed() bool {
+	a := pg.Accessed
+	pg.Accessed = false
+	return a
+}
+
+// PageList is an intrusive doubly-linked list of pages, the analogue of the
+// kernel's list_head LRU lists. A page can be on at most one list; the list
+// tracks membership so moves are O(1) and double-insertion panics loudly.
+type PageList struct {
+	head, tail *Page
+	size       int
+	// Name identifies the list in diagnostics (e.g. "anon_promote").
+	Name string
+}
+
+// Len returns the number of pages on the list.
+func (l *PageList) Len() int { return l.size }
+
+// Empty reports whether the list has no pages.
+func (l *PageList) Empty() bool { return l.size == 0 }
+
+// Front returns the page at the head (most recently added by PushFront), or
+// nil if empty.
+func (l *PageList) Front() *Page { return l.head }
+
+// Back returns the page at the tail (the CLOCK hand scans from here), or nil
+// if empty.
+func (l *PageList) Back() *Page { return l.tail }
+
+// PushFront inserts pg at the head. The page must not be on any list.
+func (l *PageList) PushFront(pg *Page) {
+	l.checkFree(pg)
+	pg.list = l
+	pg.prev = nil
+	pg.next = l.head
+	if l.head != nil {
+		l.head.prev = pg
+	} else {
+		l.tail = pg
+	}
+	l.head = pg
+	l.size++
+}
+
+// PushBack inserts pg at the tail. The page must not be on any list.
+func (l *PageList) PushBack(pg *Page) {
+	l.checkFree(pg)
+	pg.list = l
+	pg.next = nil
+	pg.prev = l.tail
+	if l.tail != nil {
+		l.tail.next = pg
+	} else {
+		l.head = pg
+	}
+	l.tail = pg
+	l.size++
+}
+
+// Remove unlinks pg from this list. It panics if the page is on a different
+// list or on none, which would indicate corrupted LRU state.
+func (l *PageList) Remove(pg *Page) {
+	if pg.list != l {
+		panic(fmt.Sprintf("mem: Remove from %q but page is on %v", l.Name, listName(pg.list)))
+	}
+	if pg.prev != nil {
+		pg.prev.next = pg.next
+	} else {
+		l.head = pg.next
+	}
+	if pg.next != nil {
+		pg.next.prev = pg.prev
+	} else {
+		l.tail = pg.prev
+	}
+	pg.prev, pg.next, pg.list = nil, nil, nil
+	l.size--
+}
+
+// PopBack removes and returns the tail page, or nil if empty.
+func (l *PageList) PopBack() *Page {
+	pg := l.tail
+	if pg != nil {
+		l.Remove(pg)
+	}
+	return pg
+}
+
+// PopFront removes and returns the head page, or nil if empty.
+func (l *PageList) PopFront() *Page {
+	pg := l.head
+	if pg != nil {
+		l.Remove(pg)
+	}
+	return pg
+}
+
+// MoveToFront rotates pg (already on this list) to the head, the CLOCK
+// second-chance action.
+func (l *PageList) MoveToFront(pg *Page) {
+	l.Remove(pg)
+	l.PushFront(pg)
+}
+
+// Each calls fn for every page from head to tail. fn must not mutate the
+// list; use EachSafe when removal during iteration is needed.
+func (l *PageList) Each(fn func(*Page)) {
+	for pg := l.head; pg != nil; pg = pg.next {
+		fn(pg)
+	}
+}
+
+// EachSafe iterates head→tail, tolerating removal of the current page by fn.
+func (l *PageList) EachSafe(fn func(*Page)) {
+	for pg := l.head; pg != nil; {
+		next := pg.next
+		fn(pg)
+		pg = next
+	}
+}
+
+func (l *PageList) checkFree(pg *Page) {
+	if pg.list != nil {
+		panic(fmt.Sprintf("mem: page already on list %q, inserting into %q", listName(pg.list), l.Name))
+	}
+}
+
+func listName(l *PageList) string {
+	if l == nil {
+		return "<none>"
+	}
+	return l.Name
+}

@@ -1,0 +1,270 @@
+package mem
+
+import (
+	"fmt"
+
+	"multiclock/internal/sim"
+)
+
+// Config describes the physical memory layout of a machine.
+type Config struct {
+	// DRAMNodes and PMNodes give the frame count of each node of the
+	// respective tier; e.g. two sockets with DRAM + hot-plugged PM would
+	// be DRAMNodes: {N, N}, PMNodes: {M, M}.
+	DRAMNodes []int
+	PMNodes   []int
+
+	Watermarks WatermarkConfig
+	Latency    LatencyModel
+}
+
+// DefaultConfig returns a small two-node machine: one DRAM node and one PM
+// node with a 1:4 capacity ratio, the shape of the paper's testbed scaled to
+// simulation size.
+func DefaultConfig() Config {
+	return Config{
+		DRAMNodes:  []int{1024},
+		PMNodes:    []int{4096},
+		Watermarks: DefaultWatermarks(),
+		Latency:    DefaultLatency(),
+	}
+}
+
+// System is the whole physical memory of the simulated machine.
+type System struct {
+	Nodes    []*Node
+	Lat      LatencyModel
+	Counters Counters
+
+	// tiers caches node IDs per tier in ID order for allocation fallback.
+	tiers [NumTiers][]NodeID
+
+	clock *sim.Clock
+}
+
+// NewSystem builds the node set from cfg. The clock supplies timestamps for
+// page birth and telemetry.
+func NewSystem(clock *sim.Clock, cfg Config) *System {
+	if len(cfg.DRAMNodes) == 0 {
+		panic("mem: need at least one DRAM node")
+	}
+	s := &System{Lat: cfg.Latency, clock: clock}
+	add := func(tier Tier, frames, socket int) {
+		id := NodeID(len(s.Nodes))
+		s.Nodes = append(s.Nodes, newNode(id, tier, frames, cfg.Watermarks, socket))
+		s.tiers[tier] = append(s.tiers[tier], id)
+	}
+	for i, f := range cfg.DRAMNodes {
+		add(TierDRAM, f, i)
+	}
+	for i, f := range cfg.PMNodes {
+		add(TierPM, f, i)
+	}
+	return s
+}
+
+// Clock returns the virtual clock the system stamps events with.
+func (s *System) Clock() *sim.Clock { return s.clock }
+
+// TierNodes returns the node IDs belonging to tier t.
+func (s *System) TierNodes(t Tier) []NodeID { return s.tiers[t] }
+
+// TierFree returns total free frames across tier t.
+func (s *System) TierFree(t Tier) int {
+	total := 0
+	for _, id := range s.tiers[t] {
+		total += s.Nodes[id].FreeFrames()
+	}
+	return total
+}
+
+// TierCapacity returns total frames across tier t.
+func (s *System) TierCapacity(t Tier) int {
+	total := 0
+	for _, id := range s.tiers[t] {
+		total += s.Nodes[id].Frames
+	}
+	return total
+}
+
+// AllocOn allocates a page on a specific node, respecting the emergency
+// reserve unless emergency is set (migration targets may not dip below min).
+// Returns nil when the node cannot satisfy the request.
+func (s *System) AllocOn(id NodeID, emergency bool) *Page {
+	return s.AllocBlockOn(id, 0, emergency)
+}
+
+// AllocBlockOn allocates a compound page of 2^order frames on a specific
+// node (order MaxOrder = one transparent huge page). Returns nil when no
+// suitably sized and aligned free block exists — fragmentation can fail a
+// huge allocation even with plenty of free frames, exactly as with real
+// THP.
+func (s *System) AllocBlockOn(id NodeID, order int, emergency bool) *Page {
+	n := s.Nodes[id]
+	if !emergency && n.FreeFrames() <= n.WM.Min+(1<<order)-1 {
+		return nil
+	}
+	f := n.alloc.Alloc(order)
+	if f == NoFrame {
+		return nil
+	}
+	s.Counters.Allocs[n.Tier] += 1 << order
+	return &Page{
+		Node:   id,
+		Frame:  f,
+		Order:  uint8(order),
+		VA:     0,
+		Space:  -1,
+		BornAt: s.clock.Now(),
+	}
+}
+
+// Alloc allocates a page following the tier fallback order: every node of
+// the first tier, then the next tier, and so on — new pages are "born in"
+// DRAM while it lasts (§II-A). Returns nil only when the whole machine is
+// exhausted.
+func (s *System) Alloc(order []Tier) *Page {
+	for _, t := range order {
+		for _, id := range s.tiers[t] {
+			if pg := s.AllocOn(id, false); pg != nil {
+				return pg
+			}
+		}
+	}
+	// Last resort: dip into reserves anywhere, lowest tier first so the
+	// reserve of the scarce tier survives longest.
+	for i := len(order) - 1; i >= 0; i-- {
+		for _, id := range s.tiers[order[i]] {
+			if pg := s.AllocOn(id, true); pg != nil {
+				return pg
+			}
+		}
+	}
+	return nil
+}
+
+// DefaultOrder is the standard birth placement: DRAM first, then PM.
+func DefaultOrder() []Tier { return []Tier{TierDRAM, TierPM} }
+
+// Free releases the page's frames. The page must already be off all LRU
+// lists and unmapped; the descriptor must not be used afterwards.
+func (s *System) Free(pg *Page) {
+	if pg.OnList() {
+		panic("mem: freeing page still on an LRU list")
+	}
+	n := s.Nodes[pg.Node]
+	n.alloc.Free(pg.Frame, int(pg.Order))
+	s.Counters.Frees[n.Tier] += 1 << pg.Order
+	pg.Frame = NoFrame
+	pg.Node = NoNode
+}
+
+// MigrationResult reports the outcome of a Migrate call.
+type MigrationResult struct {
+	OK       bool
+	From, To NodeID
+	// Cost is the daemon-side copy time; Tax is the application-side
+	// charge. The caller accounts both to the right timelines.
+	Cost sim.Duration
+	Tax  sim.Duration
+}
+
+// Migrate moves pg to node dst: allocates a destination frame (allowed to
+// use reserves — migration is how pressure is relieved), frees the source
+// frame, and updates the descriptor in place. The page must be isolated
+// from the LRU (FlagIsolated) and not unevictable. Counters record the
+// direction as promotion or demotion by tier order.
+func (s *System) Migrate(pg *Page, dst NodeID) MigrationResult {
+	if pg.Flags.Has(FlagUnevictable) {
+		s.Counters.MigrateFails++
+		return MigrationResult{}
+	}
+	if !pg.Flags.Has(FlagIsolated) {
+		panic("mem: migrating a page that is not isolated from the LRU")
+	}
+	if pg.OnList() {
+		panic("mem: migrating a page still on a list")
+	}
+	src := pg.Node
+	if src == dst {
+		return MigrationResult{OK: true, From: src, To: dst}
+	}
+	dn := s.Nodes[dst]
+	f := dn.alloc.Alloc(int(pg.Order))
+	if f == NoFrame {
+		s.Counters.MigrateFails++
+		return MigrationResult{From: src, To: dst}
+	}
+	sn := s.Nodes[src]
+	sn.alloc.Free(pg.Frame, int(pg.Order))
+	s.Counters.Allocs[dn.Tier] += 1 << pg.Order
+	s.Counters.Frees[sn.Tier] += 1 << pg.Order
+	pg.Node = dst
+	pg.Frame = f
+
+	// A compound page copies all its frames; the remap/TLB tax stays per
+	// mapping (one PMD entry for a huge page).
+	cost := s.Lat.PageCopy[sn.Tier][dn.Tier] * sim.Duration(pg.Frames())
+	s.Counters.MigrationBusy += cost
+	switch {
+	case dn.Tier < sn.Tier:
+		s.Counters.Promotions += int64(pg.Frames())
+		pg.PromotedAt = s.clock.Now()
+	case dn.Tier > sn.Tier:
+		s.Counters.Demotions += int64(pg.Frames())
+	}
+	return MigrationResult{OK: true, From: src, To: dst, Cost: cost, Tax: s.Lat.MigrationTax}
+}
+
+// Split breaks an isolated compound page into base-page descriptors over
+// the same frames (split_huge_page): the block's frames stay allocated but
+// are now owned by 512 independent pages that can migrate, swap and age
+// individually. The input descriptor must not be reused afterwards.
+func (s *System) Split(pg *Page) []*Page {
+	if !pg.Flags.Has(FlagIsolated) {
+		panic("mem: splitting a page that is not isolated")
+	}
+	if !pg.IsHuge() {
+		panic("mem: splitting a base page")
+	}
+	out := make([]*Page, pg.Frames())
+	for i := range out {
+		bp := &Page{
+			Node:     pg.Node,
+			Frame:    pg.Frame + FrameID(i),
+			Flags:    pg.Flags &^ FlagIsolated,
+			VA:       pg.VA + uint64(i)*PageSize,
+			Space:    pg.Space,
+			Accessed: pg.Accessed,
+			HWDirty:  pg.HWDirty,
+			BornAt:   pg.BornAt,
+		}
+		out[i] = bp
+	}
+	s.Counters.HugeSplits++
+	// Neutralize the compound descriptor.
+	pg.Frame = NoFrame
+	pg.Node = NoNode
+	pg.Space = -1
+	return out
+}
+
+// PickNode selects the tier-t node with the most free frames, or NoNode if
+// the tier has no free frame at all. Used to choose migration destinations.
+func (s *System) PickNode(t Tier) NodeID {
+	best, bestFree := NoNode, 0
+	for _, id := range s.tiers[t] {
+		if f := s.Nodes[id].FreeFrames(); f > bestFree {
+			best, bestFree = id, f
+		}
+	}
+	return best
+}
+
+func (s *System) String() string {
+	out := ""
+	for _, n := range s.Nodes {
+		out += fmt.Sprintf("%v\n", n)
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multiclock/internal/mem"
+)
+
+func TestVPNRoundTrip(t *testing.T) {
+	va := uint64(0x12345000)
+	vpn := VPNOf(va)
+	if vpn.Addr() != va {
+		t.Fatalf("round trip: %#x -> %v -> %#x", va, vpn, vpn.Addr())
+	}
+	if VPNOf(va+100) != vpn {
+		t.Fatal("intra-page offset changed VPN")
+	}
+}
+
+func TestMmapLayout(t *testing.T) {
+	as := New(1)
+	a := as.Mmap(10, false, "heap")
+	b := as.Mmap(5, true, "file")
+	if a.Pages() != 10 || b.Pages() != 5 {
+		t.Fatal("VMA sizes")
+	}
+	if b.Start <= a.End-1 {
+		t.Fatal("VMAs overlap")
+	}
+	if b.Start == a.End {
+		t.Fatal("missing guard page")
+	}
+	if !a.Contains(a.Start) || a.Contains(a.End) {
+		t.Fatal("Contains bounds")
+	}
+	if as.FindVMA(a.Start+3) != a || as.FindVMA(b.Start) != b {
+		t.Fatal("FindVMA")
+	}
+	if as.FindVMA(a.End) != nil {
+		t.Fatal("guard page has a VMA")
+	}
+	if len(as.VMAs()) != 2 {
+		t.Fatal("VMAs()")
+	}
+}
+
+func TestMmapZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(1).Mmap(0, false, "")
+}
+
+func TestInstallLookupUnmap(t *testing.T) {
+	as := New(7)
+	v := as.Mmap(100, false, "x")
+	pg := &mem.Page{}
+	as.Install(v.Start+5, pg)
+	if as.Mapped() != 1 {
+		t.Fatal("Mapped count")
+	}
+	if pg.Space != 7 || pg.VA != (v.Start+5).Addr() {
+		t.Fatal("reverse mapping not recorded")
+	}
+	if as.Lookup(v.Start+5) != pg {
+		t.Fatal("Lookup")
+	}
+	if as.Lookup(v.Start+6) != nil {
+		t.Fatal("empty PTE returned a page")
+	}
+	got := as.Unmap(v.Start + 5)
+	if got != pg || as.Mapped() != 0 || pg.Space != -1 {
+		t.Fatal("Unmap")
+	}
+	if as.Unmap(v.Start+5) != nil {
+		t.Fatal("double unmap returned a page")
+	}
+	if as.Unmap(MaxVPN) != nil {
+		t.Fatal("unmap of never-touched region")
+	}
+}
+
+func TestInstallDoubleMapPanics(t *testing.T) {
+	as := New(1)
+	v := as.Mmap(1, false, "")
+	as.Install(v.Start, &mem.Page{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double map")
+		}
+	}()
+	as.Install(v.Start, &mem.Page{})
+}
+
+func TestWalkOrderAndBounds(t *testing.T) {
+	as := New(1)
+	v := as.Mmap(2000, false, "big") // spans multiple leaves
+	for i := 0; i < 2000; i += 3 {
+		as.Install(v.Start+VPN(i), &mem.Page{})
+	}
+	var visited []VPN
+	as.WalkVMA(v, func(vpn VPN, pg *mem.Page) {
+		visited = append(visited, vpn)
+	})
+	if len(visited) != (2000+2)/3 {
+		t.Fatalf("visited %d, want %d", len(visited), (2000+2)/3)
+	}
+	for i := 1; i < len(visited); i++ {
+		if visited[i] <= visited[i-1] {
+			t.Fatal("walk not ascending")
+		}
+	}
+	// Sub-range walk.
+	var sub []VPN
+	as.Walk(v.Start+10, v.Start+20, func(vpn VPN, pg *mem.Page) { sub = append(sub, vpn) })
+	for _, vpn := range sub {
+		if vpn < v.Start+10 || vpn >= v.Start+20 {
+			t.Fatalf("walk out of range: %v", vpn)
+		}
+	}
+}
+
+func TestWalkAllowsUnmap(t *testing.T) {
+	as := New(1)
+	v := as.Mmap(50, false, "")
+	for i := 0; i < 50; i++ {
+		as.Install(v.Start+VPN(i), &mem.Page{})
+	}
+	as.WalkVMA(v, func(vpn VPN, pg *mem.Page) { as.Unmap(vpn) })
+	if as.Mapped() != 0 {
+		t.Fatalf("Mapped = %d after unmapping walk", as.Mapped())
+	}
+}
+
+func TestTouchSetsBits(t *testing.T) {
+	pg := &mem.Page{}
+	Touch(pg, false)
+	if !pg.Accessed || pg.HWDirty {
+		t.Fatal("read touch")
+	}
+	Touch(pg, true)
+	if !pg.HWDirty || !pg.Flags.Has(mem.FlagDirty) {
+		t.Fatal("write touch must dirty the page")
+	}
+}
+
+func TestPoisonUnpoison(t *testing.T) {
+	pg := &mem.Page{}
+	Poison(pg)
+	if !pg.Flags.Has(mem.FlagPoisoned) {
+		t.Fatal("Poison")
+	}
+	Unpoison(pg)
+	if pg.Flags.Has(mem.FlagPoisoned) {
+		t.Fatal("Unpoison")
+	}
+}
+
+// Property: Install/Lookup/Unmap behave like a map[VPN]*Page.
+func TestPageTableMapEquivalence(t *testing.T) {
+	f := func(keys []uint32, unmapEvery uint8) bool {
+		as := New(1)
+		model := map[VPN]*mem.Page{}
+		step := int(unmapEvery%5) + 2
+		for i, k := range keys {
+			vpn := VPN(k) & MaxVPN
+			if i%step == 0 {
+				got := as.Unmap(vpn)
+				want := model[vpn]
+				if got != want {
+					return false
+				}
+				delete(model, vpn)
+				continue
+			}
+			if model[vpn] == nil {
+				pg := &mem.Page{}
+				as.Install(vpn, pg)
+				model[vpn] = pg
+			}
+		}
+		if as.Mapped() != len(model) {
+			return false
+		}
+		for vpn, pg := range model {
+			if as.Lookup(vpn) != pg {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

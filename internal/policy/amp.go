@@ -1,0 +1,216 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"multiclock/internal/lru"
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/sim"
+)
+
+// AMPSelector picks one of AMP's page-selection mechanisms (§II-D): the
+// classic cache-replacement policies applied to tier placement.
+type AMPSelector int
+
+const (
+	// AMPLRU selects by exact recency (least/most recently used).
+	AMPLRU AMPSelector = iota
+	// AMPLFU selects by exact frequency — the policy the paper deems
+	// impractical to track on a real system but evaluable on an
+	// emulator; our simulator is exactly such an emulator.
+	AMPLFU
+	// AMPRandom selects uniformly at random.
+	AMPRandom
+)
+
+// String names the selector as the policy name suffix.
+func (s AMPSelector) String() string {
+	switch s {
+	case AMPLRU:
+		return "amp-lru"
+	case AMPLFU:
+		return "amp-lfu"
+	default:
+		return "amp-random"
+	}
+}
+
+// AMPConfig tunes the AMP baseline.
+type AMPConfig struct {
+	Selector     AMPSelector
+	ScanInterval sim.Duration
+	// MigrateBatch bounds promotions (and matching demotions) per
+	// interval.
+	MigrateBatch int
+	// Decay halves frequency counters every interval when true, aging
+	// LFU's history.
+	Decay bool
+	Seed  uint64
+}
+
+// DefaultAMPConfig mirrors the evaluation cadence.
+func DefaultAMPConfig(sel AMPSelector) AMPConfig {
+	return AMPConfig{Selector: sel, ScanInterval: 1 * sim.Second, MigrateBatch: 512, Decay: true}
+}
+
+// AMP reimplements the AMP tiered-memory baseline: full per-page profiling
+// of every access (exact recency and frequency — feasible only because
+// this is a simulator, which is the paper's §II-D point about AMP being
+// emulator-only), with periodic exchange of the hottest PM pages against
+// the coldest DRAM pages under the chosen selector.
+type AMP struct {
+	machine.Base
+	cfg     AMPConfig
+	daemons []*sim.Daemon
+	rng     *sim.RNG
+
+	Promotions int64
+}
+
+// NewAMP returns the baseline for the given configuration.
+func NewAMP(cfg AMPConfig) *AMP {
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = 1 * sim.Second
+	}
+	if cfg.MigrateBatch <= 0 {
+		cfg.MigrateBatch = 512
+	}
+	return &AMP{cfg: cfg, rng: sim.NewRNG(cfg.Seed ^ 0xa3b)}
+}
+
+// Name implements machine.Policy.
+func (a *AMP) Name() string { return a.cfg.Selector.String() }
+
+// Attach starts the periodic migration daemon.
+func (a *AMP) Attach(m *machine.Machine) {
+	a.Base.Attach(m)
+	d := m.Clock.StartDaemon("amp", a.cfg.ScanInterval, func(now sim.Time) {
+		a.rebalance()
+	})
+	a.daemons = append(a.daemons, d)
+}
+
+// Stop halts the daemon.
+func (a *AMP) Stop() {
+	for _, d := range a.daemons {
+		d.Stop()
+	}
+}
+
+// Access profiles every access exactly — AMP's defining (and, on real
+// hardware, disqualifying) requirement — then charges base latency.
+func (a *AMP) Access(pg *mem.Page, write bool) sim.Duration {
+	pg.Freq++
+	pg.LastUse = a.M.Clock.Now()
+	return a.Base.Access(pg, write)
+}
+
+// hotness scores a page for promotion under the selector; higher is
+// hotter.
+func (a *AMP) hotness(pg *mem.Page) float64 {
+	switch a.cfg.Selector {
+	case AMPLFU:
+		return float64(pg.Freq)
+	case AMPLRU:
+		return float64(pg.LastUse)
+	default:
+		return a.rng.Float64()
+	}
+}
+
+// collect gathers every evictable page of one tier with its score.
+type scored struct {
+	pg    *mem.Page
+	score float64
+}
+
+func (a *AMP) collect(t mem.Tier) []scored {
+	var out []scored
+	for _, id := range a.M.Mem.TierNodes(t) {
+		vec := a.M.Vecs[id]
+		for k := lru.Kind(0); k < lru.Unevictable; k++ {
+			vec.List(k).Each(func(pg *mem.Page) {
+				out = append(out, scored{pg, a.hotness(pg)})
+			})
+		}
+	}
+	return out
+}
+
+// rebalance is one daemon run: scan and score the full page population
+// (AMP's design scans every page — the cost the paper calls impractical),
+// then exchange the hottest PM pages against the coldest DRAM pages.
+func (a *AMP) rebalance() {
+	m := a.M
+	pmPages := a.collect(mem.TierPM)
+	dramPages := a.collect(mem.TierDRAM)
+	m.Mem.Counters.PagesScanned += int64(len(pmPages) + len(dramPages))
+	m.ChargeTax(m.Mem.Lat.DaemonWakeup +
+		sim.Duration(len(pmPages)+len(dramPages))*m.Mem.Lat.DaemonScanPage)
+
+	sort.Slice(pmPages, func(i, j int) bool { return pmPages[i].score > pmPages[j].score }) // hottest first
+	sort.Slice(dramPages, func(i, j int) bool { return dramPages[i].score < dramPages[j].score })
+
+	batch := a.cfg.MigrateBatch
+	di := 0
+	for i := 0; i < len(pmPages) && i < batch; i++ {
+		hot := pmPages[i].pg
+		if !hot.OnList() {
+			continue
+		}
+		dst := m.Mem.PickNode(mem.TierDRAM)
+		if dst == mem.NoNode || m.Mem.Nodes[dst].UnderMin() {
+			// Exchange: demote the coldest DRAM page first.
+			for di < len(dramPages) && !dramPages[di].pg.OnList() {
+				di++
+			}
+			if di >= len(dramPages) {
+				break
+			}
+			cold := dramPages[di].pg
+			di++
+			// Don't displace a page hotter than the one arriving.
+			if a.cfg.Selector != AMPRandom && a.hotness(cold) >= pmPages[i].score {
+				break
+			}
+			pmDst := m.Mem.PickNode(mem.TierPM)
+			if pmDst == mem.NoNode || !m.MigratePage(cold, pmDst) {
+				break
+			}
+			dst = m.Mem.PickNode(mem.TierDRAM)
+			if dst == mem.NoNode {
+				break
+			}
+		}
+		if m.MigratePage(hot, dst) {
+			a.Promotions++
+		}
+	}
+
+	if a.cfg.Selector == AMPLFU && a.cfg.Decay {
+		for _, s := range pmPages {
+			s.pg.Freq /= 2
+		}
+		for _, s := range dramPages {
+			s.pg.Freq /= 2
+		}
+	}
+}
+
+// DefaultAMPName parses "amp-lru" style names.
+func DefaultAMPName(name string) (AMPSelector, error) {
+	switch name {
+	case "amp-lru":
+		return AMPLRU, nil
+	case "amp-lfu":
+		return AMPLFU, nil
+	case "amp-random":
+		return AMPRandom, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown AMP selector %q", name)
+	}
+}
+
+var _ machine.Policy = (*AMP)(nil)

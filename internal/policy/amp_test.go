@@ -1,0 +1,174 @@
+package policy
+
+import (
+	"testing"
+
+	"multiclock/internal/mem"
+	"multiclock/internal/pagetable"
+	"multiclock/internal/sim"
+)
+
+func TestAMPNamesAndParsing(t *testing.T) {
+	cases := map[string]AMPSelector{"amp-lru": AMPLRU, "amp-lfu": AMPLFU, "amp-random": AMPRandom}
+	for name, sel := range cases {
+		got, err := DefaultAMPName(name)
+		if err != nil || got != sel {
+			t.Fatalf("DefaultAMPName(%q) = %v, %v", name, got, err)
+		}
+		if sel.String() != name {
+			t.Fatalf("selector %v stringifies to %q", sel, sel.String())
+		}
+		if NewAMP(DefaultAMPConfig(sel)).Name() != name {
+			t.Fatalf("policy name for %v", sel)
+		}
+	}
+	if _, err := DefaultAMPName("amp-mru"); err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+}
+
+func TestAMPZeroConfigNormalized(t *testing.T) {
+	a := NewAMP(AMPConfig{Selector: AMPLFU})
+	if a.cfg.ScanInterval != 1*sim.Second || a.cfg.MigrateBatch != 512 {
+		t.Fatalf("config not normalized: %+v", a.cfg)
+	}
+}
+
+func TestAMPProfilesEveryAccess(t *testing.T) {
+	a := NewAMP(DefaultAMPConfig(AMPLFU))
+	m := newMachine(256, 1024, a)
+	as := m.NewSpace()
+	v := as.Mmap(1, false, "x")
+	pg := m.Access(as, v.Start, false)
+	first := pg.LastUse
+	m.Access(as, v.Start, false)
+	m.Access(as, v.Start, true)
+	if pg.Freq != 3 {
+		t.Fatalf("Freq = %d, want 3 (exact profiling)", pg.Freq)
+	}
+	if pg.LastUse <= first {
+		t.Fatal("LastUse not advancing with accesses")
+	}
+}
+
+// TestAMPLFUPromotesHotPages: exact frequency selection must move a hot PM
+// set to DRAM, exchanging against cold DRAM pages.
+func TestAMPLFUPromotesHotPages(t *testing.T) {
+	cfg := DefaultAMPConfig(AMPLFU)
+	cfg.ScanInterval = 10 * sim.Millisecond
+	a := NewAMP(cfg)
+	m := newMachine(128, 1024, a)
+	as := m.NewSpace()
+	v := fillOver(m, as, 400)
+	hot := pmVPNs(m, as, v, 16)
+	if len(hot) != 16 {
+		t.Fatalf("setup: %d PM pages", len(hot))
+	}
+	for round := 0; round < 12; round++ {
+		for rep := 0; rep < 4; rep++ {
+			for _, vpn := range hot {
+				m.Access(as, vpn, false)
+			}
+		}
+		m.Compute(11 * sim.Millisecond)
+	}
+	promoted := 0
+	for _, vpn := range hot {
+		if pg := as.Lookup(vpn); pg != nil && m.Mem.Tier(pg) == mem.TierDRAM {
+			promoted++
+		}
+	}
+	if promoted < 12 {
+		t.Fatalf("LFU promoted %d/16 hot pages", promoted)
+	}
+	if a.Promotions == 0 {
+		t.Fatal("promotion counter")
+	}
+}
+
+// TestAMPLFUDoesNotDisplaceHotterPages: the exchange guard must refuse to
+// demote a DRAM page hotter than the arriving one.
+func TestAMPExchangeGuard(t *testing.T) {
+	cfg := DefaultAMPConfig(AMPLFU)
+	cfg.ScanInterval = 10 * sim.Millisecond
+	a := NewAMP(cfg)
+	m := newMachine(128, 1024, a)
+	as := m.NewSpace()
+	v := fillOver(m, as, 400)
+	// Make every DRAM page very hot; PM pages mildly warm.
+	var dramHot, pmWarm []pagetable.VPN
+	as.WalkVMA(v, func(vpn pagetable.VPN, pg *mem.Page) {
+		if m.Mem.Tier(pg) == mem.TierDRAM {
+			dramHot = append(dramHot, vpn)
+		} else if len(pmWarm) < 32 {
+			pmWarm = append(pmWarm, vpn)
+		}
+	})
+	for round := 0; round < 8; round++ {
+		for _, vpn := range dramHot {
+			m.Access(as, vpn, false)
+			m.Access(as, vpn, false)
+		}
+		for _, vpn := range pmWarm {
+			m.Access(as, vpn, false)
+		}
+		m.Compute(11 * sim.Millisecond)
+	}
+	// Warm PM pages must not displace hot DRAM pages.
+	displaced := 0
+	for _, vpn := range dramHot {
+		if pg := as.Lookup(vpn); pg != nil && m.Mem.Tier(pg) == mem.TierPM {
+			displaced++
+		}
+	}
+	if displaced > len(dramHot)/10 {
+		t.Fatalf("%d/%d hot DRAM pages displaced by warm PM pages", displaced, len(dramHot))
+	}
+}
+
+func TestAMPRandomStillMigrates(t *testing.T) {
+	cfg := DefaultAMPConfig(AMPRandom)
+	cfg.ScanInterval = 10 * sim.Millisecond
+	cfg.Seed = 9
+	a := NewAMP(cfg)
+	m := newMachine(128, 1024, a)
+	as := m.NewSpace()
+	fillOver(m, as, 400)
+	m.Compute(100 * sim.Millisecond)
+	if a.Promotions == 0 {
+		t.Fatal("random selector never promoted")
+	}
+}
+
+func TestAMPStop(t *testing.T) {
+	a := NewAMP(DefaultAMPConfig(AMPLRU))
+	m := newMachine(64, 256, a)
+	as := m.NewSpace()
+	fillOver(m, as, 100)
+	a.Stop()
+	scanned := m.Mem.Counters.PagesScanned
+	m.Compute(10 * sim.Second)
+	if m.Mem.Counters.PagesScanned != scanned {
+		t.Fatal("stopped AMP kept scanning")
+	}
+}
+
+func TestAMPLFUDecay(t *testing.T) {
+	cfg := DefaultAMPConfig(AMPLFU)
+	cfg.ScanInterval = 10 * sim.Millisecond
+	a := NewAMP(cfg)
+	m := newMachine(256, 1024, a)
+	as := m.NewSpace()
+	v := as.Mmap(1, false, "x")
+	pg := m.Access(as, v.Start, false)
+	for i := 0; i < 99; i++ {
+		m.Access(as, v.Start, false)
+	}
+	if pg.Freq != 100 {
+		t.Fatalf("freq = %d", pg.Freq)
+	}
+	m.Compute(11 * sim.Millisecond) // one decay pass
+	if pg.Freq != 50 {
+		t.Fatalf("freq after decay = %d, want 50", pg.Freq)
+	}
+}

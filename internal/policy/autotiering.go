@@ -1,0 +1,293 @@
+package policy
+
+import (
+	"multiclock/internal/lru"
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/pagetable"
+	"multiclock/internal/sim"
+)
+
+// ATMode selects the AutoTiering variant.
+type ATMode int
+
+const (
+	// CPM is AutoTiering's conservative promotion approach: promote on
+	// repeated hint faults, exchanging with an upper-tier page chosen
+	// without coldness information when DRAM is full (§II-D). Its
+	// performance therefore "highly depends on the initial placement of
+	// the pages" (§V-C.1).
+	CPM ATMode = iota
+	// OPM adds the opportunistic demotion path: an N-bit per-page history
+	// vector identifies cold upper-tier pages to demote proactively, at
+	// the price of extra tracking overhead (§II-D).
+	OPM
+)
+
+// String names the mode as the paper abbreviates it.
+func (m ATMode) String() string {
+	if m == CPM {
+		return "at-cpm"
+	}
+	return "at-opm"
+}
+
+// ATConfig tunes the AutoTiering baseline.
+type ATConfig struct {
+	Mode ATMode
+	// ScanInterval is the hint-fault scanner period.
+	ScanInterval sim.Duration
+	// PoisonFrac is the fraction of each address space's mapped pages
+	// poisoned per interval. Software-fault tracking cannot afford full
+	// coverage on large memories (the paper's core criticism, §II-D);
+	// the default mirrors AutoNUMA's bounded scan rate relative to the
+	// paper-scale footprint.
+	PoisonFrac float64
+	// PromoteWindow, when positive, requires a page's two most recent
+	// hint faults to fall within the window before promotion. Zero (the
+	// default behaviour of NUMA-balancing-derived designs) promotes on
+	// the first hint fault — a page was touched while sampled, so it is
+	// assumed misplaced and migrated in the fault path.
+	PromoteWindow sim.Duration
+	// HistBits is the length of OPM's per-page coldness vector.
+	HistBits int
+	// DemoteBatch caps OPM demotions per interval.
+	DemoteBatch int
+}
+
+// DefaultATConfig mirrors the evaluation settings.
+func DefaultATConfig(mode ATMode) ATConfig {
+	return ATConfig{
+		Mode:         mode,
+		ScanInterval: 1 * sim.Second,
+		PoisonFrac:   0.125,
+		HistBits:     4,
+		DemoteBatch:  1024,
+	}
+}
+
+// AutoTiering implements both AT-CPM and AT-OPM. Page access tracking uses
+// hint page faults: the scanner poisons a rotating sample of PTEs, and the
+// next access to a poisoned page takes a software fault whose cost lands
+// directly on the application — the overhead the paper identifies as these
+// systems' weakness.
+type AutoTiering struct {
+	machine.Base
+	cfg     ATConfig
+	daemons []*sim.Daemon
+
+	// cursor tracks the poisoning position per address space.
+	cursor map[int32]pagetable.VPN
+
+	// Promotions and Exchanges are exposed for analysis.
+	Promotions int64
+	Exchanges  int64
+	Demotions  int64
+}
+
+// NewAutoTiering returns the policy for the given variant.
+func NewAutoTiering(cfg ATConfig) *AutoTiering {
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = 1 * sim.Second
+	}
+	if cfg.PoisonFrac <= 0 || cfg.PoisonFrac > 1 {
+		cfg.PoisonFrac = 0.125
+	}
+	if cfg.HistBits <= 0 || cfg.HistBits > 8 {
+		cfg.HistBits = 4
+	}
+	if cfg.DemoteBatch <= 0 {
+		cfg.DemoteBatch = 1024
+	}
+	return &AutoTiering{cfg: cfg, cursor: make(map[int32]pagetable.VPN)}
+}
+
+// Name implements machine.Policy.
+func (at *AutoTiering) Name() string { return at.cfg.Mode.String() }
+
+// Attach starts the PTE-poisoning scanner.
+func (at *AutoTiering) Attach(m *machine.Machine) {
+	at.Base.Attach(m)
+	d := m.Clock.StartDaemon("at-scan", at.cfg.ScanInterval, func(now sim.Time) {
+		at.scan(now)
+	})
+	at.daemons = append(at.daemons, d)
+}
+
+// Stop halts the scanner.
+func (at *AutoTiering) Stop() {
+	for _, d := range at.daemons {
+		d.Stop()
+	}
+}
+
+// scan poisons the next slice of every address space and, for OPM, ages
+// history bits and demotes cold DRAM pages.
+func (at *AutoTiering) scan(now sim.Time) {
+	m := at.M
+	var demoteCands []*mem.Page
+	for _, as := range m.Spaces() {
+		id := as.ID
+		budget := int(float64(as.Mapped()) * at.cfg.PoisonFrac)
+		if budget == 0 && as.Mapped() > 0 {
+			budget = 1
+		}
+		start := at.cursor[id]
+		poisoned := 0
+		var last pagetable.VPN
+		walk := func(lo, hi pagetable.VPN) {
+			as.Walk(lo, hi, func(vpn pagetable.VPN, pg *mem.Page) {
+				if poisoned >= budget {
+					return
+				}
+				last = vpn
+				if pg.Flags.Has(mem.FlagUnevictable) {
+					return
+				}
+				// OPM ages the page's history each time the scanner
+				// passes it: shift in a zero; a hint fault sets bit 0.
+				if at.cfg.Mode == OPM {
+					pg.Hist = (pg.Hist << 1) & (1<<uint(at.cfg.HistBits) - 1)
+					if pg.Hist == 0 && m.Mem.Tier(pg) == mem.TierDRAM &&
+						now-pg.LastHint > sim.Time(2*at.cfg.ScanInterval) {
+						demoteCands = append(demoteCands, pg)
+					}
+				}
+				pagetable.Poison(pg)
+				poisoned++
+				// Poisoning a PTE costs a TLB shootdown whose IPIs
+				// disturb the running application.
+				m.ChargeTax(300 * sim.Nanosecond)
+			})
+		}
+		walk(start, pagetable.MaxVPN+1)
+		if poisoned < budget {
+			walk(0, start) // wrap around
+		}
+		at.cursor[id] = last + 1
+		m.Mem.Counters.PagesScanned += int64(poisoned)
+	}
+
+	if at.cfg.Mode == OPM {
+		at.demoteCold(demoteCands)
+	}
+}
+
+// demoteCold moves history-cold DRAM pages to PM, keeping promotion
+// headroom (OPM's progressive demotion).
+func (at *AutoTiering) demoteCold(cands []*mem.Page) {
+	m := at.M
+	budget := at.cfg.DemoteBatch
+	for _, id := range m.Mem.TierNodes(mem.TierDRAM) {
+		// Only demote while the node actually needs headroom.
+		n := m.Mem.Nodes[id]
+		target := 4 * n.WM.High
+		for _, pg := range cands {
+			if budget == 0 || n.FreeFrames() >= target {
+				break
+			}
+			if pg.Node != id || !pg.OnList() {
+				continue
+			}
+			dst := m.Mem.PickNode(mem.TierPM)
+			if dst == mem.NoNode {
+				return
+			}
+			m.Vecs[pg.Node].Isolate(pg)
+			if m.MigrateIsolated(pg, dst) {
+				at.Demotions++
+				budget--
+			} else {
+				m.Vecs[pg.Node].Putback(pg)
+			}
+		}
+	}
+}
+
+// HintFault handles a software fault on a poisoned PTE: record recency and
+// promote lower-tier pages — on the first fault by default
+// (NUMA-balancing-style migrate-on-fault), or on two faults within
+// PromoteWindow when configured. The migration runs synchronously in fault
+// context, so its full cost hits the application; that cost, plus the
+// blind exchange victims under CPM, is what sinks these baselines (§V-C).
+func (at *AutoTiering) HintFault(pg *mem.Page, write bool) {
+	m := at.M
+	now := m.Clock.Now()
+	prev := pg.LastHint
+	pg.LastHint = now
+	pg.Hist |= 1
+
+	if m.Mem.Tier(pg) != mem.TierPM {
+		return
+	}
+	if at.cfg.PromoteWindow > 0 && (prev == 0 || now-prev > sim.Time(at.cfg.PromoteWindow)) {
+		return
+	}
+	// Qualifying fault: promote.
+	dst := pickVictimNode(m, mem.TierDRAM)
+	if dst == mem.NoNode {
+		switch at.cfg.Mode {
+		case CPM:
+			// Conservative exchange: demote an upper-tier page chosen
+			// without reference information — the oldest-born DRAM page
+			// (its lists never age under fault-based tracking). Under a
+			// skewed workload this regularly evicts hot pages, which is
+			// the placement fragility §V-C.1 observes.
+			if !at.exchangeVictim() {
+				return
+			}
+		case OPM:
+			// OPM relies on its proactive demotion for headroom; if none
+			// exists this interval, skip.
+			return
+		}
+		dst = pickVictimNode(m, mem.TierDRAM)
+		if dst == mem.NoNode {
+			return
+		}
+	}
+	if !pg.OnList() {
+		return
+	}
+	m.Vecs[pg.Node].Isolate(pg)
+	if m.MigrateIsolated(pg, dst) {
+		at.Promotions++
+		// Synchronous migration in the fault path: the copy is not
+		// daemon work, it blocks the faulting thread.
+		m.Compute(m.Mem.Lat.PageCopy[mem.TierPM][mem.TierDRAM])
+	} else {
+		m.Vecs[pg.Node].Putback(pg)
+	}
+}
+
+// exchangeVictim demotes one DRAM page picked blind (oldest birth) to make
+// room, charging the faulting thread. Returns false when no victim exists.
+func (at *AutoTiering) exchangeVictim() bool {
+	m := at.M
+	for _, id := range m.Mem.TierNodes(mem.TierDRAM) {
+		vec := m.Vecs[id]
+		// The inactive list is birth-ordered FIFO under AutoTiering (no
+		// reference-bit aging), so its tail is simply the oldest page.
+		for _, k := range []lru.Kind{lru.InactiveAnon, lru.InactiveFile} {
+			l := vec.List(k)
+			victim := l.Back()
+			if victim == nil {
+				continue
+			}
+			dst := m.Mem.PickNode(mem.TierPM)
+			if dst == mem.NoNode {
+				return false
+			}
+			vec.Isolate(victim)
+			if m.MigrateIsolated(victim, dst) {
+				at.Exchanges++
+				m.Compute(m.Mem.Lat.PageCopy[mem.TierDRAM][mem.TierPM])
+				return true
+			}
+			vec.Putback(victim)
+		}
+	}
+	return false
+}
+
+var _ machine.Policy = (*AutoTiering)(nil)

@@ -1,0 +1,39 @@
+// Package policy implements the baseline tiering systems the paper
+// evaluates against MULTI-CLOCK (§II-D, §V): static tiering, Nimble's
+// recency-only page selection, AutoTiering-CPM/OPM with software
+// hint-page-fault tracking, and persistent memory in Memory-mode. An
+// AMP-style selector family (LRU/LFU/random) is provided as an extension.
+package policy
+
+import (
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+)
+
+// Static is static tiering: pages are born in DRAM until it fills, then in
+// PM, and never move for the rest of their lifetime (§II-D). It is the
+// normalization baseline of every figure in the paper's evaluation.
+type Static struct {
+	machine.Base
+}
+
+// NewStatic returns the static-tiering policy.
+func NewStatic() *Static { return &Static{} }
+
+// Name implements machine.Policy.
+func (s *Static) Name() string { return "static" }
+
+var _ machine.Policy = (*Static)(nil)
+
+// pickVictimNode returns the tier-t node with free frames above its min
+// reserve, or NoNode. Shared by the migrating baselines.
+func pickVictimNode(m *machine.Machine, t mem.Tier) mem.NodeID {
+	id := m.Mem.PickNode(t)
+	if id == mem.NoNode {
+		return id
+	}
+	if m.Mem.Nodes[id].UnderMin() {
+		return mem.NoNode
+	}
+	return id
+}

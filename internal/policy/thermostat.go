@@ -1,0 +1,222 @@
+package policy
+
+import (
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/pagetable"
+	"multiclock/internal/sim"
+)
+
+// Thermostat reimplements the page-selection idea of Thermostat (Agarwal &
+// Wenisch, ASPLOS'17), which the paper lists in Table I but could not
+// evaluate ("Not Open Source", §II-D): huge-page-granularity cold-data
+// detection via software sampling. Regions of 512 base pages are sampled
+// each period by poisoning a few of their PTEs; the hint-fault rate
+// estimates the region's access rate; regions colder than the threshold
+// are demoted wholesale to PM, and demoted regions that turn out hot
+// (their fault rate rebounds) are promoted back — misclassification
+// correction.
+//
+// The granularity trade-off this exposes is exactly why the paper manages
+// base pages: one hot base page keeps 2 MiB resident, and one cold
+// classification demotes hot neighbours with it.
+type Thermostat struct {
+	machine.Base
+	cfg     ThermostatConfig
+	daemons []*sim.Daemon
+	rng     *sim.RNG
+
+	regions map[regionKey]*regionStats
+
+	Demotions  int64
+	Promotions int64
+}
+
+// ThermostatConfig tunes the baseline.
+type ThermostatConfig struct {
+	ScanInterval sim.Duration
+	// RegionPages is the classification granularity (512 = 2 MiB huge
+	// pages).
+	RegionPages int
+	// SampleFrac is the fraction of each region's resident pages poisoned
+	// per period.
+	SampleFrac float64
+	// ColdThreshold: regions with at most this many sampled faults per
+	// period are classified cold.
+	ColdThreshold int
+	// DemoteBatch caps region demotions per period.
+	DemoteBatch int
+	Seed        uint64
+}
+
+// DefaultThermostatConfig mirrors Thermostat's published operating point
+// scaled to the simulator.
+func DefaultThermostatConfig() ThermostatConfig {
+	return ThermostatConfig{
+		ScanInterval:  1 * sim.Second,
+		RegionPages:   512,
+		SampleFrac:    0.05,
+		ColdThreshold: 0,
+		DemoteBatch:   8,
+	}
+}
+
+type regionKey struct {
+	space int32
+	base  pagetable.VPN
+}
+
+type regionStats struct {
+	faults   int // hint faults this period
+	sampled  int
+	demoted  bool
+	hotScore int
+}
+
+// NewThermostat returns the baseline policy.
+func NewThermostat(cfg ThermostatConfig) *Thermostat {
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = 1 * sim.Second
+	}
+	if cfg.RegionPages <= 0 {
+		cfg.RegionPages = 512
+	}
+	if cfg.SampleFrac <= 0 || cfg.SampleFrac > 1 {
+		cfg.SampleFrac = 0.05
+	}
+	if cfg.DemoteBatch <= 0 {
+		cfg.DemoteBatch = 8
+	}
+	return &Thermostat{
+		cfg:     cfg,
+		rng:     sim.NewRNG(cfg.Seed ^ 0x7e45),
+		regions: make(map[regionKey]*regionStats),
+	}
+}
+
+// Name implements machine.Policy.
+func (th *Thermostat) Name() string { return "thermostat" }
+
+// Attach starts the sampling daemon.
+func (th *Thermostat) Attach(m *machine.Machine) {
+	th.Base.Attach(m)
+	d := m.Clock.StartDaemon("thermostat", th.cfg.ScanInterval, func(now sim.Time) {
+		th.period()
+	})
+	th.daemons = append(th.daemons, d)
+}
+
+// Stop halts the daemon.
+func (th *Thermostat) Stop() {
+	for _, d := range th.daemons {
+		d.Stop()
+	}
+}
+
+// regionOf returns the key for a page's region.
+func (th *Thermostat) regionOf(pg *mem.Page) regionKey {
+	vpn := pagetable.VPNOf(pg.VA)
+	return regionKey{
+		space: pg.Space,
+		base:  vpn - vpn%pagetable.VPN(th.cfg.RegionPages),
+	}
+}
+
+// HintFault counts sampled accesses per region.
+func (th *Thermostat) HintFault(pg *mem.Page, write bool) {
+	st, ok := th.regions[th.regionOf(pg)]
+	if !ok {
+		return
+	}
+	st.faults++
+}
+
+// period is one Thermostat cycle: classify last period's samples, migrate,
+// then poison the next sample set.
+func (th *Thermostat) period() {
+	m := th.M
+
+	// Classify and migrate based on the period that just ended.
+	demoted := 0
+	for key, st := range th.regions {
+		if st.sampled == 0 {
+			continue
+		}
+		switch {
+		case !st.demoted && st.faults <= th.cfg.ColdThreshold && demoted < th.cfg.DemoteBatch:
+			// Cold region: demote every resident page.
+			if th.migrateRegion(key, mem.TierPM) > 0 {
+				st.demoted = true
+				th.Demotions++
+				demoted++
+			}
+		case st.demoted && st.faults > th.cfg.ColdThreshold+1:
+			// Misclassified: the "cold" region is being accessed from PM.
+			if th.migrateRegion(key, mem.TierDRAM) > 0 {
+				st.demoted = false
+				th.Promotions++
+			}
+		}
+		st.faults = 0
+		st.sampled = 0
+	}
+
+	// Poison the next sample set: a fraction of each space's resident
+	// pages, region-tagged.
+	for _, as := range m.Spaces() {
+		budget := int(float64(as.Mapped()) * th.cfg.SampleFrac)
+		if budget == 0 && as.Mapped() > 0 {
+			budget = 1
+		}
+		poisoned := 0
+		as.Walk(0, pagetable.MaxVPN+1, func(vpn pagetable.VPN, pg *mem.Page) {
+			if poisoned >= budget || pg.Flags.Has(mem.FlagUnevictable) {
+				return
+			}
+			// Sample pseudo-randomly so coverage rotates.
+			if th.rng.Float64() > th.cfg.SampleFrac*4 {
+				return
+			}
+			key := th.regionOf(pg)
+			st, ok := th.regions[key]
+			if !ok {
+				st = &regionStats{}
+				th.regions[key] = st
+			}
+			pagetable.Poison(pg)
+			st.sampled++
+			poisoned++
+			m.ChargeTax(300 * sim.Nanosecond)
+		})
+		m.Mem.Counters.PagesScanned += int64(poisoned)
+	}
+}
+
+// migrateRegion moves every resident page of the region to tier t,
+// returning how many pages moved.
+func (th *Thermostat) migrateRegion(key regionKey, t mem.Tier) int {
+	m := th.M
+	if int(key.space) >= len(m.Spaces()) {
+		return 0
+	}
+	as := m.Space(key.space)
+	moved := 0
+	as.Walk(key.base, key.base+pagetable.VPN(th.cfg.RegionPages), func(vpn pagetable.VPN, pg *mem.Page) {
+		if m.Mem.Tier(pg) == t || !pg.OnList() {
+			return
+		}
+		dst := m.Mem.PickNode(t)
+		if dst == mem.NoNode {
+			return
+		}
+		if t == mem.TierDRAM && m.Mem.Nodes[dst].UnderMin() {
+			return
+		}
+		if m.MigratePage(pg, dst) {
+			moved++
+		}
+	})
+	return moved
+}
+
+var _ machine.Policy = (*Thermostat)(nil)

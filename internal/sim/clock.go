@@ -1,0 +1,280 @@
+// Package sim provides the discrete-event simulation engine that underpins
+// the hybrid-memory machine: a virtual nanosecond clock, an event queue for
+// simulated kernel daemons (kpromoted, kswapd, scanners), and deterministic
+// pseudo-random streams.
+//
+// The engine is intentionally single-threaded. All state advances through
+// explicit calls on the owning goroutine, which makes every simulation run
+// bit-for-bit reproducible for a given seed — a property the test suite
+// checks. Simulated concurrency (multiple daemons, one application thread)
+// is expressed as interleaved events on the virtual clock, exactly as a
+// trace-driven architectural simulator would do it.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenience duration units for virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String formats a virtual duration using the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Seconds reports the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Clock tracks virtual time and dispatches due events.
+//
+// The application (workload) side advances the clock by charging latencies
+// with Advance; daemon-side work is scheduled as events which fire when the
+// clock passes their deadline. The zero value is not usable; call NewClock.
+type Clock struct {
+	now    Time
+	events eventHeap
+	seq    uint64 // tie-breaker so equal-deadline events fire FIFO
+}
+
+// NewClock returns a clock positioned at time zero with an empty event queue.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves virtual time forward by d, firing any events whose deadline
+// passes. Event callbacks run with the clock set to their deadline, so a
+// daemon observes the time it was scheduled for, not the end of the
+// application's charge. Negative durations are a programming error.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic("sim: negative Advance")
+	}
+	target := c.now + Time(d)
+	c.runUntil(target)
+	c.now = target
+}
+
+// AdvanceTo moves the clock to an absolute time, firing due events.
+// It is a no-op if t is in the past.
+func (c *Clock) AdvanceTo(t Time) {
+	if t <= c.now {
+		return
+	}
+	c.runUntil(t)
+	c.now = t
+}
+
+// runUntil fires every event with deadline <= target in deadline order.
+func (c *Clock) runUntil(target Time) {
+	for len(c.events) > 0 && c.events[0].at <= target {
+		ev := c.events.pop()
+		if ev.cancelled != nil && *ev.cancelled {
+			continue
+		}
+		c.now = ev.at
+		ev.fn()
+	}
+}
+
+// Schedule registers fn to run when virtual time reaches now+d.
+// It returns a handle that can cancel the event before it fires.
+func (c *Clock) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return c.ScheduleAt(c.now+Time(d), fn)
+}
+
+// ScheduleAt registers fn to run at absolute virtual time t. Events scheduled
+// in the past fire on the next Advance.
+func (c *Clock) ScheduleAt(t Time, fn func()) *Event {
+	cancelled := new(bool)
+	c.seq++
+	c.events.push(scheduled{at: t, seq: c.seq, fn: fn, cancelled: cancelled})
+	return &Event{clock: c, cancelled: cancelled}
+}
+
+// Pending reports the number of scheduled (uncancelled) events. Cancelled
+// events still occupying the heap are not counted.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, ev := range c.events {
+		if ev.cancelled == nil || !*ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Drain fires all remaining events in order regardless of horizon; useful in
+// tests that want daemons to quiesce. The clock ends at the last deadline.
+func (c *Clock) Drain() {
+	for len(c.events) > 0 {
+		ev := c.events.pop()
+		if ev.cancelled != nil && *ev.cancelled {
+			continue
+		}
+		c.now = ev.at
+		ev.fn()
+	}
+}
+
+// Event is a handle to a scheduled callback.
+type Event struct {
+	clock     *Clock
+	cancelled *bool
+}
+
+// Cancel prevents the event from firing. Safe to call multiple times and
+// after the event has fired.
+func (e *Event) Cancel() {
+	if e != nil && e.cancelled != nil {
+		*e.cancelled = true
+	}
+}
+
+// scheduled is one queued event.
+type scheduled struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled *bool
+}
+
+// eventHeap is a binary min-heap on (at, seq). Hand-rolled rather than
+// container/heap to avoid interface boxing on the simulator hot path.
+type eventHeap []scheduled
+
+func (h *eventHeap) push(ev scheduled) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h)[i].before((*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() scheduled {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old[last] = scheduled{} // release closure
+	*h = old[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h[left].before(h[smallest]) {
+			smallest = left
+		}
+		if right < n && h[right].before(h[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+func (s scheduled) before(t scheduled) bool {
+	if s.at != t.at {
+		return s.at < t.at
+	}
+	return s.seq < t.seq
+}
+
+// Daemon is a periodic simulated kernel thread: its body runs every Interval
+// of virtual time, mirroring kswapd/kpromoted wakeups. The body may adjust
+// Interval between runs (used by the scan-interval sensitivity experiment).
+type Daemon struct {
+	Name     string
+	Interval Duration
+	Body     func(now Time)
+
+	clock   *Clock
+	ev      *Event
+	stopped bool
+	Runs    int // number of completed wakeups
+}
+
+// StartDaemon schedules a periodic daemon on the clock, first firing one
+// interval from now. The returned daemon can be stopped and reports how many
+// times it has run.
+func (c *Clock) StartDaemon(name string, interval Duration, body func(now Time)) *Daemon {
+	if interval <= 0 {
+		panic("sim: daemon interval must be positive")
+	}
+	d := &Daemon{Name: name, Interval: interval, Body: body, clock: c}
+	d.arm()
+	return d
+}
+
+func (d *Daemon) arm() {
+	d.ev = d.clock.Schedule(d.Interval, func() {
+		if d.stopped {
+			return
+		}
+		d.Body(d.clock.Now())
+		d.Runs++
+		if !d.stopped {
+			d.arm()
+		}
+	})
+}
+
+// Stop halts the daemon; its body will not run again.
+func (d *Daemon) Stop() {
+	if d == nil || d.stopped {
+		return
+	}
+	d.stopped = true
+	d.ev.Cancel()
+}
+
+// SetInterval changes the period and reschedules the pending wakeup so the
+// new cadence takes effect immediately rather than after the old interval
+// elapses.
+func (d *Daemon) SetInterval(interval Duration) {
+	if interval <= 0 {
+		panic("sim: daemon interval must be positive")
+	}
+	d.Interval = interval
+	if !d.stopped {
+		d.ev.Cancel()
+		d.arm()
+	}
+}

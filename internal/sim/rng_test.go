@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds agreed on %d/100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	s1 := parent.Split(1)
+	s2 := parent.Split(2)
+	s1again := NewRNG(7).Split(1)
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s1again.Uint64() {
+			t.Fatal("Split(1) not reproducible")
+		}
+	}
+	// Split must not perturb the parent.
+	p2 := NewRNG(7)
+	_ = p2.Split(9)
+	parentFresh := NewRNG(7)
+	if p2.Uint64() != parentFresh.Uint64() {
+		t.Fatal("Split perturbed parent stream")
+	}
+	_ = s2
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestInt63nRange(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Int63n(1 << 40)
+		if v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(13)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean of uniforms = %v, want ≈0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := NewRNG(seed)
+		m := int(n%64) + 1
+		xs := make([]int, m)
+		for i := range xs {
+			xs[i] = i
+		}
+		r.Shuffle(m, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		seen := make([]bool, m)
+		for _, v := range xs {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64Distribution(t *testing.T) {
+	// Crude bit-balance check: each of the 64 bits should be set ~50% of
+	// the time over many draws.
+	r := NewRNG(23)
+	const n = 20000
+	var counts [64]int
+	for i := 0; i < n; i++ {
+		v := r.Uint64()
+		for b := 0; b < 64; b++ {
+			if v&(1<<uint(b)) != 0 {
+				counts[b]++
+			}
+		}
+	}
+	for b, cnt := range counts {
+		frac := float64(cnt) / n
+		if frac < 0.47 || frac > 0.53 {
+			t.Fatalf("bit %d set fraction %v, want ≈0.5", b, frac)
+		}
+	}
+}

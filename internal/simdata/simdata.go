@@ -1,0 +1,97 @@
+// Package simdata provides typed arrays whose backing storage lives in
+// simulated memory: every element read/write issues the page access a real
+// program would, while the values themselves are held in ordinary Go slices
+// (execution-driven simulation). Workloads like the GAPBS kernels build
+// their data structures from these arrays.
+package simdata
+
+import (
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/pagetable"
+)
+
+// Array is a fixed-length vector of T in simulated memory.
+type Array[T any] struct {
+	m        *machine.Machine
+	as       *pagetable.AddressSpace
+	base     pagetable.VPN
+	perPage  int
+	data     []T
+	elemSize int
+}
+
+// NewArray allocates an n-element array of elemSize-byte elements in the
+// address space, reserving the exact number of pages (demand faulted).
+func NewArray[T any](m *machine.Machine, as *pagetable.AddressSpace, name string, n, elemSize int) *Array[T] {
+	return newArray[T](m, as, name, n, elemSize, false)
+}
+
+// NewArrayHuge is NewArray with transparent-huge-page backing (the
+// madvise(MADV_HUGEPAGE) a tuned graph framework would issue for its CSR).
+func NewArrayHuge[T any](m *machine.Machine, as *pagetable.AddressSpace, name string, n, elemSize int) *Array[T] {
+	return newArray[T](m, as, name, n, elemSize, true)
+}
+
+func newArray[T any](m *machine.Machine, as *pagetable.AddressSpace, name string, n, elemSize int, huge bool) *Array[T] {
+	if n <= 0 {
+		panic("simdata: empty array")
+	}
+	if elemSize <= 0 || elemSize > mem.PageSize {
+		panic("simdata: element size must be in (0, PageSize]")
+	}
+	perPage := mem.PageSize / elemSize
+	npages := (n + perPage - 1) / perPage
+	var vma *pagetable.VMA
+	if huge {
+		vma = as.MmapHuge(npages, name)
+	} else {
+		vma = as.Mmap(npages, false, name)
+	}
+	return &Array[T]{
+		m:        m,
+		as:       as,
+		base:     vma.Start,
+		perPage:  perPage,
+		data:     make([]T, n),
+		elemSize: elemSize,
+	}
+}
+
+// Len returns the element count.
+func (a *Array[T]) Len() int { return len(a.data) }
+
+// Pages returns the page footprint.
+func (a *Array[T]) Pages() int { return (len(a.data) + a.perPage - 1) / a.perPage }
+
+// vpnOf returns the page holding element i.
+func (a *Array[T]) vpnOf(i int) pagetable.VPN {
+	return a.base + pagetable.VPN(i/a.perPage)
+}
+
+// Get reads element i, charging the simulated access.
+func (a *Array[T]) Get(i int) T {
+	a.m.Access(a.as, a.vpnOf(i), false)
+	return a.data[i]
+}
+
+// Set writes element i, charging the simulated access.
+func (a *Array[T]) Set(i int, v T) {
+	a.m.Access(a.as, a.vpnOf(i), true)
+	a.data[i] = v
+}
+
+// Peek reads element i without a simulated access; for bookkeeping that a
+// real program would keep in registers/cache (e.g. loop bounds just read).
+func (a *Array[T]) Peek(i int) T { return a.data[i] }
+
+// Poke writes element i without a simulated access (initialization outside
+// the measured region).
+func (a *Array[T]) Poke(i int, v T) { a.data[i] = v }
+
+// Fill sets every element with simulated writes (sequential touch).
+func (a *Array[T]) Fill(v T) {
+	for i := range a.data {
+		a.Set(i, v)
+	}
+}

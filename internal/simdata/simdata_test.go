@@ -1,0 +1,140 @@
+package simdata
+
+import (
+	"testing"
+
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/sim"
+)
+
+type nullPolicy struct{ machine.Base }
+
+func (nullPolicy) Name() string { return "null" }
+
+func newM() *machine.Machine {
+	cfg := machine.DefaultConfig()
+	cfg.Mem.DRAMNodes = []int{512}
+	cfg.Mem.PMNodes = []int{2048}
+	cfg.OpCost = 0
+	cfg.CPUCachePages = 0
+	return machine.New(cfg, &nullPolicy{})
+}
+
+func TestArrayGetSet(t *testing.T) {
+	m := newM()
+	as := m.NewSpace()
+	a := NewArray[int64](m, as, "a", 100, 8)
+	if a.Len() != 100 {
+		t.Fatal("Len")
+	}
+	a.Set(5, 42)
+	if a.Get(5) != 42 {
+		t.Fatal("round trip")
+	}
+	if a.Get(6) != 0 {
+		t.Fatal("zero value")
+	}
+}
+
+func TestArrayPageFootprint(t *testing.T) {
+	m := newM()
+	as := m.NewSpace()
+	// 1000 × 8 bytes = 8000 bytes = 2 pages.
+	a := NewArray[int64](m, as, "a", 1000, 8)
+	if a.Pages() != 2 {
+		t.Fatalf("Pages = %d, want 2", a.Pages())
+	}
+	// Elements 0..511 on page 1, 512.. on page 2.
+	a.Set(0, 1)
+	a.Set(511, 1)
+	a.Set(512, 1)
+	if as.Mapped() != 2 {
+		t.Fatalf("mapped = %d, want 2", as.Mapped())
+	}
+}
+
+func TestArrayChargesAccesses(t *testing.T) {
+	m := newM()
+	as := m.NewSpace()
+	a := NewArray[int32](m, as, "a", 10, 4)
+	before := m.Mem.Counters.TotalAccesses()
+	a.Set(0, 7)
+	a.Get(0)
+	if got := m.Mem.Counters.TotalAccesses() - before; got != 2 {
+		t.Fatalf("accesses = %d, want 2", got)
+	}
+	if m.Mem.Counters.Writes[mem.TierDRAM] != 1 {
+		t.Fatal("Set must be a write")
+	}
+}
+
+func TestPeekPokeAreFree(t *testing.T) {
+	m := newM()
+	as := m.NewSpace()
+	a := NewArray[int32](m, as, "a", 10, 4)
+	before := m.Mem.Counters.TotalAccesses()
+	now := m.Clock.Now()
+	a.Poke(3, 9)
+	if a.Peek(3) != 9 {
+		t.Fatal("peek/poke")
+	}
+	if m.Mem.Counters.TotalAccesses() != before || m.Clock.Now() != now {
+		t.Fatal("peek/poke charged the simulation")
+	}
+}
+
+func TestFill(t *testing.T) {
+	m := newM()
+	as := m.NewSpace()
+	a := NewArray[int32](m, as, "a", 100, 4)
+	a.Fill(3)
+	for i := 0; i < 100; i++ {
+		if a.Peek(i) != 3 {
+			t.Fatal("fill")
+		}
+	}
+}
+
+func TestArrayValidation(t *testing.T) {
+	m := newM()
+	as := m.NewSpace()
+	for _, f := range []func(){
+		func() { NewArray[int32](m, as, "x", 0, 4) },
+		func() { NewArray[int32](m, as, "x", 10, 0) },
+		func() { NewArray[int32](m, as, "x", 10, 8192) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+	_ = sim.Duration(0)
+}
+
+func TestHugeArray(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Mem.DRAMNodes = []int{2048}
+	cfg.Mem.PMNodes = []int{2048}
+	cfg.OpCost = 0
+	cfg.CPUCachePages = 0
+	m := machine.New(cfg, &nullPolicy{})
+	as := m.NewSpace()
+	a := NewArrayHuge[int64](m, as, "huge", 1000, 8)
+	a.Set(0, 42)
+	a.Set(999, 7)
+	if a.Get(0) != 42 || a.Get(999) != 7 {
+		t.Fatal("round trip")
+	}
+	// The whole array (2 pages) faulted as one compound region.
+	if m.Mem.Counters.MinorFaults != 1 {
+		t.Fatalf("minor faults = %d, want 1 huge fault", m.Mem.Counters.MinorFaults)
+	}
+	if m.Mem.Nodes[0].UsedFrames() != 512 {
+		t.Fatalf("frames used = %d, want one 512-frame block", m.Mem.Nodes[0].UsedFrames())
+	}
+}

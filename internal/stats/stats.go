@@ -1,0 +1,284 @@
+// Package stats provides the small statistics toolkit the evaluation
+// harness uses: histograms with percentiles, time-windowed series (the
+// paper reports several metrics per 20-second window), and plain-text table
+// rendering for regenerated figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates float64 samples and answers order statistics.
+// Samples are kept exactly; the evaluation's sample counts are modest.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 {
+	h.ensureSorted()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 {
+	h.ensureSorted()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[len(h.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0–100) by nearest-rank, or 0 with
+// no samples.
+func (h *Histogram) Percentile(p float64) float64 {
+	h.ensureSorted()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[n-1]
+	}
+	rank := int(math.Ceil(p/100*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return h.samples[rank]
+}
+
+// Stddev returns the population standard deviation.
+func (h *Histogram) Stddev() float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := h.Mean()
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// WindowSeries buckets event values into fixed-width windows of a scalar
+// key (virtual time, usually), as the paper does for promotions per
+// 20-second window (Fig. 8) and re-access percentages (Fig. 9).
+type WindowSeries struct {
+	Width   int64
+	count   map[int64]int64
+	sum     map[int64]float64
+	maxSeen int64
+	any     bool
+}
+
+// NewWindowSeries creates a series with the given window width. Width must
+// be positive.
+func NewWindowSeries(width int64) *WindowSeries {
+	if width <= 0 {
+		panic("stats: window width must be positive")
+	}
+	return &WindowSeries{
+		Width: width,
+		count: make(map[int64]int64),
+		sum:   make(map[int64]float64),
+	}
+}
+
+// Observe adds value v at key position t.
+func (w *WindowSeries) Observe(t int64, v float64) {
+	id := t / w.Width
+	w.count[id]++
+	w.sum[id] += v
+	if id > w.maxSeen {
+		w.maxSeen = id
+	}
+	w.any = true
+}
+
+// Count returns one event with value 1 at t (counting series).
+func (w *WindowSeries) Count(t int64) { w.Observe(t, 1) }
+
+// Windows returns the number of windows from 0 through the last observed.
+func (w *WindowSeries) Windows() int {
+	if !w.any {
+		return 0
+	}
+	return int(w.maxSeen) + 1
+}
+
+// Sum returns the total value in window id.
+func (w *WindowSeries) Sum(id int) float64 { return w.sum[int64(id)] }
+
+// N returns the event count in window id.
+func (w *WindowSeries) N(id int) int64 { return w.count[int64(id)] }
+
+// Mean returns the mean value in window id, or 0 when empty.
+func (w *WindowSeries) Mean(id int) float64 {
+	c := w.count[int64(id)]
+	if c == 0 {
+		return 0
+	}
+	return w.sum[int64(id)] / float64(c)
+}
+
+// Sums returns the per-window totals for all windows.
+func (w *WindowSeries) Sums() []float64 {
+	out := make([]float64, w.Windows())
+	for i := range out {
+		out[i] = w.Sum(i)
+	}
+	return out
+}
+
+// Table renders aligned plain-text tables for the regenerated figures.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	numeric []bool
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddNumRow appends a row of a label followed by formatted numbers.
+func (t *Table) AddNumRow(label string, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, FormatNum(v))
+	}
+	t.AddRow(cells...)
+}
+
+// FormatNum renders a float compactly: integers plainly, large values with
+// thousands grouping left off, small values with 3 significant decimals.
+func FormatNum(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Normalize divides each value by base, the paper's normalized-to-static
+// presentation. A zero base yields zeros.
+func Normalize(base float64, vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	if base == 0 {
+		return out
+	}
+	for i, v := range vals {
+		out[i] = v / base
+	}
+	return out
+}
+
+// GeoMean returns the geometric mean of positive values, ignoring
+// non-positive entries.
+func GeoMean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 ||
+		h.Percentile(50) != 0 || h.Stddev() != 0 || h.Sum() != 0 {
+		t.Fatal("empty histogram should be all zeros")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		h.Add(v)
+	}
+	if h.N() != 5 || h.Sum() != 15 || h.Mean() != 3 {
+		t.Fatalf("N=%d Sum=%v Mean=%v", h.N(), h.Sum(), h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatal("min/max")
+	}
+	if h.Percentile(50) != 3 {
+		t.Fatalf("p50 = %v", h.Percentile(50))
+	}
+	if h.Percentile(0) != 1 || h.Percentile(100) != 5 {
+		t.Fatal("extreme percentiles")
+	}
+	want := math.Sqrt(2) // population stddev of 1..5
+	if math.Abs(h.Stddev()-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", h.Stddev(), want)
+	}
+}
+
+func TestHistogramAddAfterQuery(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	_ = h.Max()
+	h.Add(20)
+	if h.Max() != 20 {
+		t.Fatal("re-sort after Add broken")
+	}
+}
+
+func TestPercentileMatchesNearestRank(t *testing.T) {
+	f := func(raw []float64, p uint8) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			h.Add(v)
+		}
+		pct := float64(p % 101)
+		got := h.Percentile(pct)
+		sort.Float64s(vals)
+		rank := int(math.Ceil(pct/100*float64(len(vals)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		return got == vals[rank]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowSeries(t *testing.T) {
+	w := NewWindowSeries(20)
+	w.Count(5)
+	w.Count(19)
+	w.Observe(25, 10)
+	w.Observe(65, 4)
+	if w.Windows() != 4 {
+		t.Fatalf("windows = %d, want 4", w.Windows())
+	}
+	if w.Sum(0) != 2 || w.N(0) != 2 {
+		t.Fatal("window 0")
+	}
+	if w.Sum(1) != 10 || w.Mean(1) != 10 {
+		t.Fatal("window 1")
+	}
+	if w.Sum(2) != 0 || w.Mean(2) != 0 {
+		t.Fatal("empty window 2")
+	}
+	sums := w.Sums()
+	if len(sums) != 4 || sums[3] != 4 {
+		t.Fatalf("Sums = %v", sums)
+	}
+}
+
+func TestWindowSeriesEmpty(t *testing.T) {
+	w := NewWindowSeries(10)
+	if w.Windows() != 0 || len(w.Sums()) != 0 {
+		t.Fatal("empty series")
+	}
+}
+
+func TestWindowSeriesBadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewWindowSeries(0)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "workload", "static", "multiclock")
+	tb.AddRow("A", "1.000", "1.350")
+	tb.AddNumRow("B", 1, 1.22)
+	out := tb.String()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "workload") {
+		t.Fatalf("missing title/header:\n%s", out)
+	}
+	if !strings.Contains(out, "1.350") || !strings.Contains(out, "1.220") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+	// Alignment: all data lines same width as header line.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatal("separator misaligned")
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")
+	if !strings.Contains(tb.String(), "only") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		1234567: "1234567",
+		250.5:   "250.5",
+		0.125:   "0.125",
+	}
+	for v, want := range cases {
+		if got := FormatNum(v); got != want {
+			t.Errorf("FormatNum(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize(2, []float64{2, 4, 1})
+	want := []float64{1, 2, 0.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Normalize = %v", got)
+		}
+	}
+	if z := Normalize(0, []float64{1, 2}); z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero base")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 2", g)
+	}
+	if g := GeoMean([]float64{2, 0, -1}); math.Abs(g-2) > 1e-12 {
+		t.Fatal("non-positive values must be ignored")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"multiclock/internal/machine"
+	"multiclock/internal/pagetable"
+	"multiclock/internal/sim"
+)
+
+// The paper's Fig. 1/2 traces come from RUBiS, SPECpower, and two Dacapo
+// workloads. Those applications (and their JVMs) are not reproducible
+// here; per the substitution rule, Pattern generators synthesize access
+// streams with the page-class structure §II-A identifies in them:
+// DRAM-friendly pages (frequently accessed throughout), tier-friendly
+// pages (bimodal: phases of heavy access alternating with idleness), and
+// cold pages (rare accesses). The per-workload presets vary only the mix
+// and the phase geometry, which is what the figures demonstrate.
+type Pattern struct {
+	Name string
+	// Pages is the population size.
+	Pages int
+	// Fractions of each class; the remainder is cold.
+	DRAMFriendly float64
+	TierFriendly float64
+	// Phase is the tier-friendly on/off phase length.
+	Phase sim.Duration
+	// PhaseGroups staggers tier-friendly pages into this many groups with
+	// offset phases, so different pages are hot at different times.
+	PhaseGroups int
+	// OpGap is the think time between accesses.
+	OpGap sim.Duration
+}
+
+// Presets loosely mirroring the four Fig. 1 workloads.
+var (
+	// PatternRUBiS: OLTP with a solid hot set and many bimodal pages.
+	PatternRUBiS = Pattern{Name: "rubis", Pages: 400, DRAMFriendly: 0.15, TierFriendly: 0.35, Phase: 4 * sim.Second, PhaseGroups: 4, OpGap: 2 * sim.Microsecond}
+	// PatternSPECpower: steady OLTP at 80% load — larger always-hot set.
+	PatternSPECpower = Pattern{Name: "specpower", Pages: 400, DRAMFriendly: 0.3, TierFriendly: 0.2, Phase: 6 * sim.Second, PhaseGroups: 3, OpGap: 2 * sim.Microsecond}
+	// PatternXalan: XML transform — strong phase behaviour.
+	PatternXalan = Pattern{Name: "xalan", Pages: 400, DRAMFriendly: 0.1, TierFriendly: 0.5, Phase: 3 * sim.Second, PhaseGroups: 5, OpGap: 2 * sim.Microsecond}
+	// PatternLusearch: search over a corpus — mostly cold with a small
+	// hot index.
+	PatternLusearch = Pattern{Name: "lusearch", Pages: 400, DRAMFriendly: 0.1, TierFriendly: 0.15, Phase: 5 * sim.Second, PhaseGroups: 2, OpGap: 2 * sim.Microsecond}
+)
+
+// Patterns lists the four presets in figure order.
+var Patterns = []Pattern{PatternRUBiS, PatternSPECpower, PatternXalan, PatternLusearch}
+
+// RunPattern drives the pattern on machine m for the given virtual
+// duration, returning the VMA holding the page population (its VPNs are
+// what a Heatmap should sample).
+func RunPattern(m *machine.Machine, as *pagetable.AddressSpace, p Pattern, duration sim.Duration, seed uint64) *pagetable.VMA {
+	if p.Pages <= 0 {
+		panic("trace: pattern needs pages")
+	}
+	rng := sim.NewRNG(seed)
+	vma := as.Mmap(p.Pages, false, "pattern-"+p.Name)
+	// Touch everything once so the population exists.
+	for i := 0; i < p.Pages; i++ {
+		m.Access(as, vma.Start+pagetable.VPN(i), false)
+	}
+
+	nDRAM := int(float64(p.Pages) * p.DRAMFriendly)
+	nTier := int(float64(p.Pages) * p.TierFriendly)
+	groups := p.PhaseGroups
+	if groups <= 0 {
+		groups = 1
+	}
+
+	end := m.Clock.Now() + sim.Time(duration)
+	for m.Clock.Now() < end {
+		r := rng.Float64()
+		var idx int
+		switch {
+		case r < 0.55:
+			// DRAM-friendly class takes most accesses.
+			idx = rng.Intn(maxInt(nDRAM, 1))
+		case r < 0.93:
+			// Tier-friendly: only pages whose group is in its hot phase
+			// get accessed.
+			if nTier == 0 {
+				idx = rng.Intn(p.Pages)
+				break
+			}
+			phase := int(m.Clock.Now()/sim.Time(p.Phase)) % groups
+			gsize := maxInt(nTier/groups, 1)
+			lo := nDRAM + phase*gsize
+			idx = lo + rng.Intn(gsize)
+			if idx >= nDRAM+nTier {
+				idx = nDRAM + nTier - 1
+			}
+		default:
+			// Cold tail.
+			coldLo := nDRAM + nTier
+			if coldLo >= p.Pages {
+				coldLo = p.Pages - 1
+			}
+			idx = coldLo + rng.Intn(maxInt(p.Pages-coldLo, 1))
+		}
+		m.Access(as, vma.Start+pagetable.VPN(idx), rng.Intn(4) == 0)
+		if p.OpGap > 0 {
+			m.Compute(p.OpGap)
+		}
+		m.EndOp()
+	}
+	return vma
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

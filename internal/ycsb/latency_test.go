@@ -1,0 +1,84 @@
+package ycsb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multiclock/internal/sim"
+)
+
+func TestRunResultLatencyPercentiles(t *testing.T) {
+	_, c := newClient(2000)
+	c.Load()
+	res := c.Run(WorkloadA, 5000)
+	if res.MeanLatency <= 0 || res.P50 <= 0 {
+		t.Fatalf("latencies not measured: %+v", res)
+	}
+	if !(res.P50 <= res.P95 && res.P95 <= res.P99) {
+		t.Fatalf("percentile ordering broken: p50=%v p95=%v p99=%v", res.P50, res.P95, res.P99)
+	}
+	// Throughput and mean latency must be consistent: one op takes about
+	// elapsed/ops.
+	approx := sim.Duration(int64(res.Elapsed) / res.Ops)
+	if res.MeanLatency < approx/2 || res.MeanLatency > approx*2 {
+		t.Fatalf("mean latency %v inconsistent with elapsed/ops %v", res.MeanLatency, approx)
+	}
+}
+
+func TestLatencyTailReflectsTierMix(t *testing.T) {
+	// On a machine whose footprint spills to PM, the p99 operation should
+	// be noticeably slower than the p50 (PM-heavy ops and fault spikes).
+	_, c := newClient(12000) // ~3000 item pages vs 2048-page DRAM
+	c.Load()
+	res := c.Run(WorkloadA, 20000)
+	if res.P99 <= res.P50 {
+		t.Fatalf("no tail: p50=%v p99=%v", res.P50, res.P99)
+	}
+}
+
+// Property: choosers never leave their advertised range even while
+// growing.
+func TestChooserRangeProperty(t *testing.T) {
+	f := func(seed uint64, growths []uint8) bool {
+		rng := sim.NewRNG(seed)
+		n := int64(100)
+		choosers := []Chooser{NewUniform(n), NewZipfian(n), NewScrambled(n), NewLatest(n)}
+		for _, g := range growths {
+			n += int64(g % 40)
+			for _, ch := range choosers {
+				ch.Grow(n)
+				for i := 0; i < 16; i++ {
+					v := ch.Next(rng)
+					if v < 0 || v >= n {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfianThetaVariants(t *testing.T) {
+	// Lower theta = flatter distribution: item 0's share must shrink.
+	share := func(theta float64) float64 {
+		z := NewZipfianTheta(1000, theta)
+		rng := sim.NewRNG(7)
+		hits := 0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			if z.Next(rng) == 0 {
+				hits++
+			}
+		}
+		return float64(hits) / draws
+	}
+	steep := share(0.99)
+	flat := share(0.5)
+	if steep <= flat {
+		t.Fatalf("theta ordering broken: 0.99→%v, 0.5→%v", steep, flat)
+	}
+}

@@ -1,0 +1,201 @@
+package ycsb
+
+import (
+	"fmt"
+
+	"multiclock/internal/kvstore"
+	"multiclock/internal/machine"
+	"multiclock/internal/sim"
+	"multiclock/internal/stats"
+)
+
+// Distribution names a key-choice distribution.
+type Distribution int8
+
+const (
+	// DistZipfian is scrambled zipfian, YCSB's requestdistribution=zipfian.
+	DistZipfian Distribution = iota
+	// DistLatest favors recent inserts (workload D).
+	DistLatest
+	// DistUniform chooses keys uniformly (workload E's scan starts).
+	DistUniform
+)
+
+// Workload is a YCSB operation mix.
+type Workload struct {
+	Name string
+	// Operation proportions; must sum to 1.
+	ReadProp, UpdateProp, InsertProp, RMWProp, ScanProp float64
+	Dist                                                Distribution
+}
+
+// The six standard workloads and the paper's custom workload W (§V-B).
+var (
+	// WorkloadA is 50% reads, 50% updates.
+	WorkloadA = Workload{Name: "A", ReadProp: 0.5, UpdateProp: 0.5, Dist: DistZipfian}
+	// WorkloadB is 95% reads, 5% updates.
+	WorkloadB = Workload{Name: "B", ReadProp: 0.95, UpdateProp: 0.05, Dist: DistZipfian}
+	// WorkloadC is read-only.
+	WorkloadC = Workload{Name: "C", ReadProp: 1, Dist: DistZipfian}
+	// WorkloadD reads recent inserts: 95% reads, 5% inserts, latest
+	// distribution — the paper's best case for MULTI-CLOCK (§V-C.1).
+	WorkloadD = Workload{Name: "D", ReadProp: 0.95, InsertProp: 0.05, Dist: DistLatest}
+	// WorkloadE is short range scans, non-operational on memcached.
+	WorkloadE = Workload{Name: "E", ScanProp: 0.95, InsertProp: 0.05, Dist: DistUniform}
+	// WorkloadF is read-modify-write.
+	WorkloadF = Workload{Name: "F", ReadProp: 0.5, RMWProp: 0.5, Dist: DistZipfian}
+	// WorkloadW is the paper's custom 100%-write workload.
+	WorkloadW = Workload{Name: "W", UpdateProp: 1, Dist: DistZipfian}
+)
+
+// PaperSequence is the prescribed execution order: the load phase runs
+// once, then A, B, C, F, W, and finally D (because D changes the record
+// count), §V-B.
+var PaperSequence = []Workload{WorkloadA, WorkloadB, WorkloadC, WorkloadF, WorkloadW, WorkloadD}
+
+// ByName returns the named workload (A–F or W).
+func ByName(name string) (Workload, error) {
+	for _, w := range []Workload{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE, WorkloadF, WorkloadW} {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("ycsb: unknown workload %q", name)
+}
+
+// ClientConfig sizes a benchmark client.
+type ClientConfig struct {
+	// Records is the load-phase record count.
+	Records int64
+	// RecordSize is bytes per record; YCSB's default is ten 100-byte
+	// fields ≈ 1000 bytes.
+	RecordSize int
+	// Seed feeds the client's private random stream.
+	Seed uint64
+}
+
+// DefaultClientConfig returns the standard record shape.
+func DefaultClientConfig(records int64) ClientConfig {
+	return ClientConfig{Records: records, RecordSize: 1000, Seed: 42}
+}
+
+// Client drives a kvstore with YCSB workloads on a machine's virtual
+// timeline.
+type Client struct {
+	store *kvstore.Store
+	m     *machine.Machine
+	rng   *sim.RNG
+	cfg   ClientConfig
+
+	records int64
+	loaded  bool
+}
+
+// NewClient creates a client bound to a store.
+func NewClient(m *machine.Machine, store *kvstore.Store, cfg ClientConfig) *Client {
+	if cfg.Records <= 0 {
+		panic("ycsb: Records must be positive")
+	}
+	if cfg.RecordSize <= 0 {
+		cfg.RecordSize = 1000
+	}
+	return &Client{store: store, m: m, rng: sim.NewRNG(cfg.Seed), cfg: cfg}
+}
+
+// Records returns the current record count (grows under workload D).
+func (c *Client) Records() int64 { return c.records }
+
+// Load runs the load phase: inserting Records sequential keys.
+func (c *Client) Load() {
+	for i := int64(0); i < c.cfg.Records; i++ {
+		c.store.Insert(uint64(i), c.cfg.RecordSize)
+		c.m.EndOp()
+	}
+	c.records = c.cfg.Records
+	c.loaded = true
+}
+
+// RunResult reports one workload execution.
+type RunResult struct {
+	Workload string
+	Ops      int64
+	Elapsed  sim.Duration
+	// Throughput is operations per virtual second.
+	Throughput float64
+	// Per-operation latency percentiles on the virtual timeline, as the
+	// real YCSB reports.
+	P50, P95, P99 sim.Duration
+	MeanLatency   sim.Duration
+	// Unsupported is set when the back-end rejected the workload's
+	// operations (workload E on memcached).
+	Unsupported bool
+}
+
+// Run executes ops operations of workload w and reports throughput
+// measured on the virtual clock. Load must have run first.
+func (c *Client) Run(w Workload, ops int64) RunResult {
+	if !c.loaded {
+		panic("ycsb: Run before Load")
+	}
+	chooser := c.chooserFor(w)
+	startOps := c.m.Ops
+	start := c.m.Clock.Now()
+	unsupported := false
+	var lat stats.Histogram
+
+	for i := int64(0); i < ops; i++ {
+		opStart := c.m.Clock.Now()
+		p := c.rng.Float64()
+		switch {
+		case p < w.ReadProp:
+			c.store.Get(uint64(chooser.Next(c.rng)))
+		case p < w.ReadProp+w.UpdateProp:
+			c.store.Set(uint64(chooser.Next(c.rng)), c.cfg.RecordSize)
+		case p < w.ReadProp+w.UpdateProp+w.InsertProp:
+			key := uint64(c.records)
+			c.records++
+			chooser.Grow(c.records)
+			c.store.Insert(key, c.cfg.RecordSize)
+		case p < w.ReadProp+w.UpdateProp+w.InsertProp+w.RMWProp:
+			c.store.ReadModifyWrite(uint64(chooser.Next(c.rng)))
+		default:
+			if err := c.store.Scan(uint64(chooser.Next(c.rng)), 100); err != nil {
+				unsupported = true
+			}
+		}
+		c.m.EndOp()
+		lat.Add(float64(c.m.Clock.Now() - opStart))
+		if unsupported {
+			break
+		}
+	}
+
+	elapsed := sim.Duration(c.m.Clock.Now() - start)
+	res := RunResult{
+		Workload:    w.Name,
+		Ops:         c.m.Ops - startOps,
+		Elapsed:     elapsed,
+		Unsupported: unsupported,
+		P50:         sim.Duration(lat.Percentile(50)),
+		P95:         sim.Duration(lat.Percentile(95)),
+		P99:         sim.Duration(lat.Percentile(99)),
+		MeanLatency: sim.Duration(lat.Mean()),
+	}
+	if elapsed > 0 && !unsupported {
+		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	}
+	return res
+}
+
+// chooserFor builds the key chooser for one workload run over the current
+// record count.
+func (c *Client) chooserFor(w Workload) Chooser {
+	switch w.Dist {
+	case DistLatest:
+		return NewLatest(c.records)
+	case DistUniform:
+		return NewUniform(c.records)
+	default:
+		return NewScrambled(c.records)
+	}
+}

@@ -1,0 +1,290 @@
+// Package multiclock is a library reproduction of "MULTI-CLOCK: Dynamic
+// Tiering for Hybrid Memory Systems" (HPCA 2022): an execution-driven
+// simulator of a DRAM + persistent-memory machine, the MULTI-CLOCK tiering
+// policy (per-tier CLOCK aging with a recency+frequency promote list, a
+// kpromoted promotion daemon and watermark-driven demotion), the baselines
+// it is evaluated against (static tiering, Nimble's recency-only selection,
+// AutoTiering-CPM/OPM, PM Memory-mode), and the paper's workloads (YCSB on
+// a memcached-like store, the GAPBS graph kernels).
+//
+// This package is the public facade. Typical use:
+//
+//	sys := multiclock.NewSystem(multiclock.Config{Policy: multiclock.PolicyMultiClock})
+//	store := sys.NewKVStore(20000)
+//	client := sys.NewYCSB(store, 20000)
+//	client.Load()
+//	res := client.Run(multiclock.WorkloadA, 500000)
+//	fmt.Println(res.Throughput)
+//
+// The full evaluation harness is exposed through RunExperiment, and the
+// subsystem packages under internal/ carry the implementation.
+package multiclock
+
+import (
+	"fmt"
+
+	"multiclock/internal/bench"
+	"multiclock/internal/core"
+	"multiclock/internal/graph"
+	"multiclock/internal/kvstore"
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/pagecache"
+	"multiclock/internal/pagetable"
+	"multiclock/internal/policy"
+	"multiclock/internal/sim"
+	"multiclock/internal/trace"
+	"multiclock/internal/ycsb"
+)
+
+// Policy selects the tiering system a machine runs.
+type Policy string
+
+// The available tiering policies (§V of the paper).
+const (
+	PolicyStatic     Policy = "static"
+	PolicyMultiClock Policy = "multiclock"
+	PolicyNimble     Policy = "nimble"
+	PolicyATCPM      Policy = "at-cpm"
+	PolicyATOPM      Policy = "at-opm"
+	PolicyMemoryMode Policy = "memory-mode"
+	// PolicyThermostat is the huge-page-region baseline (Table I's
+	// Thermostat row, reimplemented — extension).
+	PolicyThermostat Policy = "thermostat"
+	// PolicyAMPLFU is AMP's exact-frequency selector (extension).
+	PolicyAMPLFU Policy = "amp-lfu"
+)
+
+// Policies lists every selectable policy.
+func Policies() []Policy {
+	return []Policy{PolicyStatic, PolicyMultiClock, PolicyNimble, PolicyATCPM, PolicyATOPM, PolicyMemoryMode}
+}
+
+// ExtensionPolicies lists the additional baselines this reproduction can
+// run that the paper could not deploy (§II-D): Thermostat-style region
+// tiering and the AMP selector family.
+func ExtensionPolicies() []Policy {
+	return []Policy{PolicyThermostat, PolicyAMPLFU, "amp-lru", "amp-random"}
+}
+
+// Duration is virtual time in nanoseconds (re-exported from the simulator).
+type Duration = sim.Duration
+
+// Virtual time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Config describes a simulated hybrid-memory system.
+type Config struct {
+	// DRAMPages and PMPages size the two tiers in 4 KiB frames. Zero
+	// picks the defaults (1 Gi-scale ratio 1:4 at simulation scale).
+	DRAMPages, PMPages int
+
+	// DRAMNodes and PMNodes optionally give a full NUMA topology (frame
+	// count per node), overriding DRAMPages/PMPages — e.g. a two-socket
+	// machine with PM on both sockets is {N,N} and {M,M}, the paper's
+	// testbed shape (§V-A).
+	DRAMNodes, PMNodes []int
+
+	// Policy selects the tiering system; default PolicyMultiClock.
+	Policy Policy
+
+	// ScanInterval is the promotion daemon period (the paper's kpromoted
+	// runs every 1 s, §V-E). Zero uses 1 s of virtual time.
+	ScanInterval Duration
+
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed uint64
+
+	// OpCost is CPU time charged per workload operation.
+	OpCost Duration
+
+	// MultiClock allows overriding the full policy configuration when
+	// Policy == PolicyMultiClock; nil uses the paper defaults.
+	MultiClock *core.Config
+}
+
+// System is a running simulated machine plus its tiering policy.
+type System struct {
+	m   *machine.Machine
+	pol machine.Policy
+}
+
+// NewSystem builds a machine per cfg with the policy attached and its
+// daemons running.
+func NewSystem(cfg Config) *System {
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyMultiClock
+	}
+	interval := cfg.ScanInterval
+	if interval <= 0 {
+		interval = 1 * Second
+	}
+	var pol machine.Policy
+	if cfg.Policy == PolicyMultiClock && cfg.MultiClock != nil {
+		c := *cfg.MultiClock
+		if c.ScanInterval <= 0 {
+			c.ScanInterval = interval
+		}
+		pol = core.New(c)
+	} else {
+		p, err := bench.NewPolicy(string(cfg.Policy), interval)
+		if err != nil {
+			panic(fmt.Sprintf("multiclock: %v", err))
+		}
+		pol = p
+	}
+
+	mcfg := machine.DefaultConfig()
+	if cfg.DRAMPages > 0 {
+		mcfg.Mem.DRAMNodes = []int{cfg.DRAMPages}
+	}
+	if cfg.PMPages > 0 {
+		mcfg.Mem.PMNodes = []int{cfg.PMPages}
+	}
+	if len(cfg.DRAMNodes) > 0 {
+		mcfg.Mem.DRAMNodes = cfg.DRAMNodes
+	}
+	if len(cfg.PMNodes) > 0 {
+		mcfg.Mem.PMNodes = cfg.PMNodes
+	}
+	if cfg.Seed != 0 {
+		mcfg.Seed = cfg.Seed
+	}
+	if cfg.OpCost > 0 {
+		mcfg.OpCost = cfg.OpCost
+	}
+	return &System{m: machine.New(mcfg, pol), pol: pol}
+}
+
+// Machine exposes the underlying simulated machine for advanced use
+// (custom workloads, observers, raw accesses).
+func (s *System) Machine() *machine.Machine { return s.m }
+
+// PolicyName reports the active policy.
+func (s *System) PolicyName() string { return s.pol.Name() }
+
+// Elapsed returns total virtual time.
+func (s *System) Elapsed() Duration { return s.m.Elapsed() }
+
+// Counters returns the memory-system event counters.
+func (s *System) Counters() *mem.Counters { return &s.m.Mem.Counters }
+
+// DRAMHitRatio reports the fraction of memory accesses served by DRAM.
+func (s *System) DRAMHitRatio() float64 { return s.m.Mem.Counters.DRAMHitRatio() }
+
+// Stop halts the policy's daemons (for long-lived processes building many
+// systems).
+func (s *System) Stop() {
+	switch v := s.pol.(type) {
+	case *core.MultiClock:
+		v.Stop()
+	case *policy.Nimble:
+		v.Stop()
+	case *policy.AutoTiering:
+		v.Stop()
+	case *policy.AMP:
+		v.Stop()
+	case *policy.Thermostat:
+		v.Stop()
+	}
+}
+
+// KVStore is the memcached-like back-end (re-export).
+type KVStore = kvstore.Store
+
+// NewKVStore creates a store sized for about items records, with the
+// evaluation's item-access cost model.
+func (s *System) NewKVStore(items int) *KVStore {
+	cfg := kvstore.DefaultConfig(items)
+	cfg.ItemTouches = 8
+	return kvstore.New(s.m, cfg)
+}
+
+// YCSB workload types (re-exports).
+type (
+	// Workload is a YCSB operation mix.
+	Workload = ycsb.Workload
+	// YCSBClient drives a store with YCSB workloads.
+	YCSBClient = ycsb.Client
+	// RunResult reports one workload execution.
+	RunResult = ycsb.RunResult
+)
+
+// The standard YCSB workloads plus the paper's workload W.
+var (
+	WorkloadA = ycsb.WorkloadA
+	WorkloadB = ycsb.WorkloadB
+	WorkloadC = ycsb.WorkloadC
+	WorkloadD = ycsb.WorkloadD
+	WorkloadE = ycsb.WorkloadE
+	WorkloadF = ycsb.WorkloadF
+	WorkloadW = ycsb.WorkloadW
+)
+
+// PaperSequence is the prescribed YCSB execution order (§V-B).
+var PaperSequence = ycsb.PaperSequence
+
+// NewYCSB creates a YCSB client over store with records keys.
+func (s *System) NewYCSB(store *KVStore, records int64) *YCSBClient {
+	return ycsb.NewClient(s.m, store, ycsb.DefaultClientConfig(records))
+}
+
+// Graph types (re-exports).
+type (
+	// Graph is a CSR graph in simulated memory with the GAPBS kernels as
+	// methods.
+	Graph = graph.Graph
+	// GraphConfig shapes a synthetic graph.
+	GraphConfig = graph.GenConfig
+)
+
+// NewGraph generates and loads a synthetic graph on the system.
+func (s *System) NewGraph(cfg GraphConfig) *Graph {
+	return graph.Generate(s.m, cfg)
+}
+
+// Observer re-exports for telemetry.
+type (
+	// PromotionTracker measures promotions and re-access (Figs. 8–9).
+	PromotionTracker = trace.PromotionTracker
+	// Heatmap records sampled page access intensity (Fig. 1).
+	Heatmap = trace.Heatmap
+)
+
+// TrackPromotions installs a promotion tracker with the given window and
+// returns it. It replaces any existing observer.
+func (s *System) TrackPromotions(window Duration) *PromotionTracker {
+	t := trace.NewPromotionTracker(window).Bind(s.m)
+	s.m.Observer = t
+	return t
+}
+
+// File-backed memory (re-exports): files whose cached pages ride the file
+// LRU lists through the supervised access path.
+type (
+	// FileCache is a set of simulated files sharing a page cache.
+	FileCache = pagecache.Cache
+	// File is one simulated file.
+	File = pagecache.File
+)
+
+// NewFileCache creates a page cache on the system.
+func (s *System) NewFileCache() *FileCache { return pagecache.New(s.m) }
+
+// VPN re-exports the virtual page number type for custom workloads.
+type VPN = pagetable.VPN
+
+// Experiments lists the regenerable tables and figures.
+func Experiments() []string { return bench.Names() }
+
+// RunExperiment regenerates one of the paper's tables or figures ("fig5",
+// "fig10", "table1", "ablation-ratio", ...) and returns its rendering.
+// Quick mode compresses the run ~10× further for CI-speed executions.
+func RunExperiment(name string, quick bool) (string, error) {
+	return bench.Run(name, bench.Options{Quick: quick, Seed: 1})
+}

@@ -3,24 +3,31 @@
 //
 // Usage:
 //
-//	mcbench -exp fig5            # one experiment at full scale
-//	mcbench -exp all -quick      # everything, CI-speed
-//	mcbench -list                # show available experiment ids
+//	mcbench -exp fig5                  # one experiment at full scale
+//	mcbench -exp all -quick            # everything, CI-speed
+//	mcbench -exp all -parallel 0       # fan runs out across all cores
+//	mcbench -list                      # show available experiment ids
+//
+// Every simulated machine is an independent single-threaded system, so
+// -parallel N schedules runs across goroutines without changing any
+// result: stdout is byte-identical at every parallelism level; progress
+// and per-run wall-clock timing go to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"multiclock/internal/bench"
+	"multiclock/internal/runner"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (fig1, fig2, table1, table2, fig5..fig10, ablation-*, or 'all')")
 	quick := flag.Bool("quick", false, "compressed runs (~10× fewer ops and shorter daemon intervals)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 1, "max simulation runs in flight (0 = GOMAXPROCS, 1 = sequential)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -37,25 +44,43 @@ func main() {
 		return
 	}
 
-	opt := bench.Options{Quick: *quick, Seed: *seed}
+	workers := *parallel
+	if workers <= 0 {
+		workers = -1 // GOMAXPROCS, resolved by the runner
+	}
+	opt := bench.Options{Quick: *quick, Seed: *seed, Parallel: workers}
 	names := []string{*exp}
 	if *exp == "all" {
 		names = append(bench.Names(), "table2")
 	}
+
+	tasks := make([]runner.Task[string], 0, len(names))
 	for _, name := range names {
-		start := time.Now()
-		var out string
-		var err error
-		if name == "table2" {
-			out, err = table2()
-		} else {
-			out, err = bench.Run(name, opt)
+		name := name
+		tasks = append(tasks, runner.Task[string]{Name: name, Fn: func() (string, error) {
+			if name == "table2" {
+				return table2()
+			}
+			return bench.Run(name, opt)
+		}})
+	}
+
+	// Experiments are scheduled across the same worker budget as their
+	// inner cells; output streams to stdout in presentation order as each
+	// head-of-line experiment completes. A failing experiment no longer
+	// aborts the batch: the error prints inline and the rest keep going.
+	failed := 0
+	runner.Stream(workers, os.Stderr, tasks, func(_ int, r runner.TaskResult[string]) {
+		if r.Err != nil {
+			failed++
+			fmt.Printf("==== %s ====\nerror: %v\n\n", r.Name, r.Err)
+			return
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("==== %s (%.1fs wall) ====\n%s\n", name, time.Since(start).Seconds(), out)
+		fmt.Printf("==== %s ====\n%s\n", r.Name, r.Value)
+	})
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mcbench: %d of %d experiments failed\n", failed, len(tasks))
+		os.Exit(1)
 	}
 }
 

@@ -1,24 +1,53 @@
-// mcsim runs one workload under one tiering policy on the simulated
-// hybrid-memory machine and prints the outcome — a quick way to poke at a
-// configuration without the full benchmark harness.
+// mcsim runs one workload under one or more tiering policies on the
+// simulated hybrid-memory machine and prints the outcome — a quick way to
+// poke at a configuration without the full benchmark harness.
 //
 // Usage:
 //
 //	mcsim -policy multiclock -workload A -records 20000 -ops 500000
 //	mcsim -policy static -gapbs PR -vertices 40000
+//	mcsim -policy static,nimble,multiclock -workload D -parallel 0
+//
+// With a comma-separated policy list every policy gets its own machine;
+// -parallel N fans them out across goroutines. Each machine is an
+// independent single-threaded simulation, so output is printed in list
+// order and is byte-identical at every parallelism level; per-policy
+// wall-clock timing goes to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"multiclock"
+	"multiclock/internal/runner"
 	"multiclock/internal/tracereplay"
 )
 
+// config carries the flag values one policy run needs.
+type config struct {
+	policy     string
+	workload   string
+	sequence   bool
+	gapbs      string
+	records    int64
+	ops        int64
+	vertices   int
+	degree     int
+	record     string
+	replay     string
+	replayFast bool
+	dram       int
+	pm         int
+	scan       multiclock.Duration
+	seed       uint64
+}
+
 func main() {
-	pol := flag.String("policy", "multiclock", "static | multiclock | nimble | at-cpm | at-opm | memory-mode | thermostat | amp-{lru,lfu,random}")
+	pol := flag.String("policy", "multiclock", "comma-separated list of static | multiclock | nimble | at-cpm | at-opm | memory-mode | thermostat | amp-{lru,lfu,random}")
 	workload := flag.String("workload", "A", "YCSB workload (A-F, W)")
 	sequence := flag.Bool("sequence", false, "run the paper's full YCSB sequence (Load,A,B,C,F,W,D)")
 	gapbs := flag.String("gapbs", "", "run a GAPBS kernel instead (BFS, SSSP, PR, CC, BC, TC)")
@@ -26,12 +55,13 @@ func main() {
 	ops := flag.Int64("ops", 500000, "YCSB operations")
 	vertices := flag.Int("vertices", 40000, "graph vertices")
 	degree := flag.Int("degree", 8, "graph average degree")
-	record := flag.String("record", "", "write the access trace to this file")
+	record := flag.String("record", "", "write the access trace to this file (single policy only)")
 	replay := flag.String("replay", "", "replay a recorded trace instead of a workload")
 	replayFast := flag.Bool("replay-fast", false, "replay back-to-back instead of original pacing")
 	dram := flag.Int("dram", 1024, "DRAM pages")
 	pm := flag.Int("pm", 8192, "PM pages")
 	interval := flag.Duration("interval", 0, "scan interval (virtual; default 100ms)")
+	parallel := flag.Int("parallel", 1, "max policies simulated at once (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	flag.Parse()
 
@@ -39,129 +69,186 @@ func main() {
 	if *interval > 0 {
 		scan = multiclock.Duration(interval.Nanoseconds())
 	}
+	policies := make([]string, 0, 4)
+	for _, p := range strings.Split(*pol, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			policies = append(policies, p)
+		}
+	}
+	if len(policies) == 0 {
+		fmt.Fprintln(os.Stderr, "mcsim: -policy needs at least one policy name")
+		os.Exit(2)
+	}
+	if *record != "" && len(policies) > 1 {
+		fmt.Fprintln(os.Stderr, "mcsim: -record needs a single policy (the trace is one machine's access stream)")
+		os.Exit(2)
+	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = -1 // GOMAXPROCS, resolved by the runner
+	}
+	tasks := make([]runner.Task[string], 0, len(policies))
+	for _, p := range policies {
+		cfg := config{
+			policy: p, workload: *workload, sequence: *sequence, gapbs: *gapbs,
+			records: *records, ops: *ops, vertices: *vertices, degree: *degree,
+			record: *record, replay: *replay, replayFast: *replayFast,
+			dram: *dram, pm: *pm, scan: scan, seed: *seed,
+		}
+		tasks = append(tasks, runner.Task[string]{Name: p, Fn: func() (string, error) {
+			var b strings.Builder
+			err := runOne(&b, cfg)
+			return b.String(), err
+		}})
+	}
+
+	var progress io.Writer
+	if len(policies) > 1 {
+		progress = os.Stderr
+	}
+	failed := 0
+	runner.Stream(workers, progress, tasks, func(_ int, r runner.TaskResult[string]) {
+		if len(tasks) > 1 {
+			fmt.Printf("==== %s ====\n", r.Name)
+		}
+		os.Stdout.WriteString(r.Value)
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "mcsim: %s: %v\n", r.Name, r.Err)
+		}
+	})
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runOne builds one system, drives it per the config, and writes the
+// human-readable outcome to w.
+func runOne(w io.Writer, cfg config) error {
 	sys := multiclock.NewSystem(multiclock.Config{
-		Policy:       multiclock.Policy(*pol),
-		DRAMPages:    *dram,
-		PMPages:      *pm,
-		ScanInterval: scan,
-		Seed:         *seed,
+		Policy:       multiclock.Policy(cfg.policy),
+		DRAMPages:    cfg.dram,
+		PMPages:      cfg.pm,
+		ScanInterval: cfg.scan,
+		Seed:         cfg.seed,
 	})
 	defer sys.Stop()
 
 	var recorder *tracereplay.Recorder
-	if *record != "" {
-		f, err := os.Create(*record)
+	if cfg.record != "" {
+		f, err := os.Create(cfg.record)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		recorder, err = tracereplay.NewRecorder(f)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		sys.Machine().Observer = recorder
 	}
 
 	switch {
-	case *replay != "":
-		f, err := os.Open(*replay)
+	case cfg.replay != "":
+		f, err := os.Open(cfg.replay)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		mode := tracereplay.Timed
-		if *replayFast {
+		if cfg.replayFast {
 			mode = tracereplay.Fast
 		}
 		res, err := tracereplay.Replay(sys.Machine(), f, mode)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcsim: replay: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("replay: %w", err)
 		}
-		fmt.Printf("replayed %d accesses in %v (virtual)\n", res.Records, res.Elapsed)
-	case *gapbs != "":
-		runGAPBS(sys, *gapbs, *vertices, *degree, *seed)
-	case *sequence:
-		runSequence(sys, *records, *ops)
+		fmt.Fprintf(w, "replayed %d accesses in %v (virtual)\n", res.Records, res.Elapsed)
+	case cfg.gapbs != "":
+		if err := runGAPBS(w, sys, cfg); err != nil {
+			return err
+		}
+	case cfg.sequence:
+		runSequence(w, sys, cfg.records, cfg.ops)
 	default:
-		runYCSB(sys, *workload, *records, *ops)
+		if err := runYCSB(w, sys, cfg); err != nil {
+			return err
+		}
 	}
 
 	if recorder != nil {
 		if err := recorder.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "mcsim: trace: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("trace: %w", err)
 		}
-		fmt.Printf("trace: %d accesses written to %s\n", recorder.Records(), *record)
+		fmt.Fprintf(w, "trace: %d accesses written to %s\n", recorder.Records(), cfg.record)
 	}
 
-	fmt.Printf("\npolicy: %s\nvirtual time: %v\n", sys.PolicyName(), sys.Elapsed())
-	fmt.Println(sys.Counters())
+	fmt.Fprintf(w, "\npolicy: %s\nvirtual time: %v\n", sys.PolicyName(), sys.Elapsed())
+	fmt.Fprintln(w, sys.Counters())
+	return nil
 }
 
 // runSequence executes the prescribed workload order (§V-B) and prints a
 // per-workload summary.
-func runSequence(sys *multiclock.System, records, ops int64) {
+func runSequence(w io.Writer, sys *multiclock.System, records, ops int64) {
 	store := sys.NewKVStore(int(records))
 	client := sys.NewYCSB(store, records)
-	fmt.Printf("loading %d records...\n", records)
+	fmt.Fprintf(w, "loading %d records...\n", records)
 	client.Load()
-	fmt.Printf("%-8s %14s %10s %10s %10s\n", "workload", "ops/s", "p50", "p95", "p99")
-	for _, w := range multiclock.PaperSequence {
-		res := client.Run(w, ops)
-		fmt.Printf("%-8s %14.0f %10v %10v %10v\n", w.Name, res.Throughput, res.P50, res.P95, res.P99)
+	fmt.Fprintf(w, "%-8s %14s %10s %10s %10s\n", "workload", "ops/s", "p50", "p95", "p99")
+	for _, wl := range multiclock.PaperSequence {
+		res := client.Run(wl, ops)
+		fmt.Fprintf(w, "%-8s %14.0f %10v %10v %10v\n", wl.Name, res.Throughput, res.P50, res.P95, res.P99)
 	}
 }
 
-func runYCSB(sys *multiclock.System, name string, records, ops int64) {
-	var w multiclock.Workload
-	switch name {
+func runYCSB(w io.Writer, sys *multiclock.System, cfg config) error {
+	var wl multiclock.Workload
+	switch cfg.workload {
 	case "A":
-		w = multiclock.WorkloadA
+		wl = multiclock.WorkloadA
 	case "B":
-		w = multiclock.WorkloadB
+		wl = multiclock.WorkloadB
 	case "C":
-		w = multiclock.WorkloadC
+		wl = multiclock.WorkloadC
 	case "D":
-		w = multiclock.WorkloadD
+		wl = multiclock.WorkloadD
 	case "E":
-		w = multiclock.WorkloadE
+		wl = multiclock.WorkloadE
 	case "F":
-		w = multiclock.WorkloadF
+		wl = multiclock.WorkloadF
 	case "W":
-		w = multiclock.WorkloadW
+		wl = multiclock.WorkloadW
 	default:
-		fmt.Fprintf(os.Stderr, "mcsim: unknown workload %q\n", name)
-		os.Exit(2)
+		return fmt.Errorf("unknown workload %q", cfg.workload)
 	}
-	store := sys.NewKVStore(int(records))
-	client := sys.NewYCSB(store, records)
-	fmt.Printf("loading %d records...\n", records)
+	store := sys.NewKVStore(int(cfg.records))
+	client := sys.NewYCSB(store, cfg.records)
+	fmt.Fprintf(w, "loading %d records...\n", cfg.records)
 	client.Load()
-	fmt.Printf("running YCSB workload %s for %d ops...\n", name, ops)
-	res := client.Run(w, ops)
+	fmt.Fprintf(w, "running YCSB workload %s for %d ops...\n", cfg.workload, cfg.ops)
+	res := client.Run(wl, cfg.ops)
 	if res.Unsupported {
-		fmt.Println("workload is non-operational on this back-end (memcached has no SCAN)")
-		return
+		fmt.Fprintln(w, "workload is non-operational on this back-end (memcached has no SCAN)")
+		return nil
 	}
-	fmt.Printf("throughput: %.0f ops/s (virtual)\n", res.Throughput)
-	fmt.Printf("latency: mean %v, p50 %v, p95 %v, p99 %v\n",
+	fmt.Fprintf(w, "throughput: %.0f ops/s (virtual)\n", res.Throughput)
+	fmt.Fprintf(w, "latency: mean %v, p50 %v, p95 %v, p99 %v\n",
 		res.MeanLatency, res.P50, res.P95, res.P99)
+	return nil
 }
 
-func runGAPBS(sys *multiclock.System, kernel string, vertices, degree int, seed uint64) {
+func runGAPBS(w io.Writer, sys *multiclock.System, cfg config) error {
 	g := sys.NewGraph(multiclock.GraphConfig{
-		Vertices:  vertices,
-		Degree:    degree,
+		Vertices:  cfg.vertices,
+		Degree:    cfg.degree,
 		Kronecker: true,
-		Seed:      seed,
+		Seed:      cfg.seed,
 	})
-	fmt.Printf("loaded %v; running %s...\n", g, kernel)
+	fmt.Fprintf(w, "loaded %v; running %s...\n", g, cfg.gapbs)
 	start := sys.Elapsed()
-	switch kernel {
+	switch cfg.gapbs {
 	case "BFS":
 		g.BFS(0)
 	case "SSSP":
@@ -173,10 +260,10 @@ func runGAPBS(sys *multiclock.System, kernel string, vertices, degree int, seed 
 	case "BC":
 		g.BC([]int32{0, 1, 2, 3})
 	case "TC":
-		fmt.Printf("triangles: %d\n", g.TC())
+		fmt.Fprintf(w, "triangles: %d\n", g.TC())
 	default:
-		fmt.Fprintf(os.Stderr, "mcsim: unknown kernel %q\n", kernel)
-		os.Exit(2)
+		return fmt.Errorf("unknown kernel %q", cfg.gapbs)
 	}
-	fmt.Printf("kernel time: %v (virtual)\n", sys.Elapsed()-start)
+	fmt.Fprintf(w, "kernel time: %v (virtual)\n", sys.Elapsed()-start)
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"multiclock/internal/kvstore"
 	"multiclock/internal/machine"
 	"multiclock/internal/pagetable"
+	"multiclock/internal/runner"
 	"multiclock/internal/sim"
 	"multiclock/internal/stats"
 	"multiclock/internal/ycsb"
@@ -46,9 +47,10 @@ func runMCWorkloadA(sc scale, seed uint64, cfg core.Config, mcfg func(*machine.C
 // the paper's core design choice.
 func AblationPromoteList(opt Options) string {
 	sc := opt.scale()
-	static := ycsbOneWorkload(sc, opt.Seed, "static", sc.Interval)
-	mc := ycsbOneWorkload(sc, opt.Seed, "multiclock", sc.Interval)
-	nb := ycsbOneWorkload(sc, opt.Seed, "nimble", sc.Interval)
+	tps := runner.Map(opt.workers(), []string{"static", "multiclock", "nimble"}, func(_ int, system string) float64 {
+		return ycsbOneWorkload(sc, opt.Seed, system, sc.Interval)
+	})
+	static, mc, nb := tps[0], tps[1], tps[2]
 	tb := stats.NewTable(
 		"Ablation — promote list (recency+frequency) vs recency-only selection, YCSB-A",
 		"selector", "throughput (ops/s)", "vs static")
@@ -63,15 +65,22 @@ func AblationPromoteList(opt Options) string {
 func AblationScanBatch(opt Options) string {
 	sc := opt.scale()
 	batches := []int{64, 256, 1024, 4096, 16384}
-	static := ycsbOneWorkload(sc, opt.Seed, "static", sc.Interval)
-	tb := stats.NewTable(
-		"Ablation — scan batch size (pages per kpromoted run), YCSB-A",
-		"batch", "throughput (ops/s)", "vs static")
-	for _, batch := range batches {
+	// Cell 0 is the static baseline; cells 1.. sweep the batch size.
+	tps := runner.Map(opt.workers(), append([]int{0}, batches...), func(_ int, batch int) float64 {
+		if batch == 0 {
+			return ycsbOneWorkload(sc, opt.Seed, "static", sc.Interval)
+		}
 		cfg := core.DefaultConfig()
 		cfg.ScanInterval = sc.Interval
 		cfg.ScanBatch = batch
-		tp := runMCWorkloadA(sc, opt.Seed, cfg, nil)
+		return runMCWorkloadA(sc, opt.Seed, cfg, nil)
+	})
+	static := tps[0]
+	tb := stats.NewTable(
+		"Ablation — scan batch size (pages per kpromoted run), YCSB-A",
+		"batch", "throughput (ops/s)", "vs static")
+	for i, batch := range batches {
+		tp := tps[i+1]
 		tb.AddRow(fmt.Sprintf("%d", batch), fmt.Sprintf("%.0f", tp), fmt.Sprintf("%.3f", safeDiv(tp, static)))
 	}
 	return tb.String() + "\npaper operating point: 1024 pages per scan (§V-C)\n"
@@ -93,15 +102,25 @@ func AblationDRAMRatio(opt Options) string {
 		{"1:2", total / 3},
 		{"1:1", total / 2},
 	}
+	type ratioCell struct {
+		dram   int
+		system string
+	}
+	var cellDefs []ratioCell
+	for _, r := range ratios {
+		cellDefs = append(cellDefs, ratioCell{r.dram, "multiclock"}, ratioCell{r.dram, "static"})
+	}
+	tps := runner.Map(opt.workers(), cellDefs, func(_ int, c ratioCell) float64 {
+		s2 := sc
+		s2.DRAMPages = c.dram
+		s2.PMPages = total - c.dram
+		return ycsbOneWorkload(s2, opt.Seed, c.system, s2.Interval)
+	})
 	tb := stats.NewTable(
 		"Ablation — DRAM:PM capacity ratio at fixed total capacity, YCSB-A",
 		"ratio", "multiclock (ops/s)", "static (ops/s)", "mc/static")
-	for _, r := range ratios {
-		s2 := sc
-		s2.DRAMPages = r.dram
-		s2.PMPages = total - r.dram
-		mc := ycsbOneWorkload(s2, opt.Seed, "multiclock", s2.Interval)
-		st := ycsbOneWorkload(s2, opt.Seed, "static", s2.Interval)
+	for i, r := range ratios {
+		mc, st := tps[2*i], tps[2*i+1]
 		tb.AddRow(r.name, fmt.Sprintf("%.0f", mc), fmt.Sprintf("%.0f", st), fmt.Sprintf("%.3f", safeDiv(mc, st)))
 	}
 	return tb.String() + "\nexpected shape: dynamic tiering matters most when DRAM is scarce\n"
@@ -115,11 +134,16 @@ func AblationDRAMRatio(opt Options) string {
 // fraction of the tracking cost.
 func AblationAMP(opt Options) string {
 	sc := opt.scale()
-	static := ycsbOneWorkload(sc, opt.Seed, "static", sc.Interval)
-	tb := stats.NewTable(
-		"Ablation — AMP selectors (full per-access profiling) vs MULTI-CLOCK, YCSB-A",
-		"system", "throughput (ops/s)", "vs static", "pages scanned")
-	for _, system := range []string{"amp-random", "amp-lru", "amp-lfu", "multiclock"} {
+	systems := []string{"amp-random", "amp-lru", "amp-lfu", "multiclock"}
+	type ampRes struct {
+		tp      float64
+		scanned int64
+	}
+	// Cell 0 is the static baseline (it never appears in the table body).
+	cells := runner.Map(opt.workers(), append([]string{"static"}, systems...), func(_ int, system string) ampRes {
+		if system == "static" {
+			return ampRes{tp: ycsbOneWorkload(sc, opt.Seed, system, sc.Interval)}
+		}
 		p, err := NewPolicy(system, sc.Interval)
 		if err != nil {
 			panic(err)
@@ -134,8 +158,16 @@ func AblationAMP(opt Options) string {
 		client.Load()
 		tp := client.Run(ycsb.WorkloadA, sc.OpsPerWorkload).Throughput
 		stopDaemons(p)
-		tb.AddRow(system, fmt.Sprintf("%.0f", tp), fmt.Sprintf("%.3f", safeDiv(tp, static)),
-			fmt.Sprintf("%d", m.Mem.Counters.PagesScanned))
+		return ampRes{tp: tp, scanned: m.Mem.Counters.PagesScanned}
+	})
+	static := cells[0].tp
+	tb := stats.NewTable(
+		"Ablation — AMP selectors (full per-access profiling) vs MULTI-CLOCK, YCSB-A",
+		"system", "throughput (ops/s)", "vs static", "pages scanned")
+	for i, system := range systems {
+		r := cells[i+1]
+		tb.AddRow(system, fmt.Sprintf("%.0f", r.tp), fmt.Sprintf("%.3f", safeDiv(r.tp, static)),
+			fmt.Sprintf("%d", r.scanned))
 	}
 	return tb.String() +
 		"\nAMP scans and scores every in-memory page each interval (impractical in a\n" +
@@ -187,8 +219,10 @@ func AblationWriteAware(opt Options) string {
 		p.Stop()
 		return sim.Duration(m.Clock.Now() - start)
 	}
-	plain := run(false)
-	biased := run(true)
+	times := runner.Map(opt.workers(), []bool{false, true}, func(_ int, writeBias bool) sim.Duration {
+		return run(writeBias)
+	})
+	plain, biased := times[0], times[1]
 	tb := stats.NewTable(
 		"Ablation — write-aware promotion (§VII extension), read-hot vs write-hot sets",
 		"variant", "virtual time", "speedup")
@@ -204,11 +238,15 @@ func AblationWriteAware(opt Options) string {
 // misclassification slowly; base pages follow the actual hot set.
 func AblationGranularity(opt Options) string {
 	sc := opt.scale()
-	static := ycsbOneWorkload(sc, opt.Seed, "static", sc.Interval)
-	tb := stats.NewTable(
-		"Ablation — tiering granularity: Thermostat-style 2 MiB regions vs base pages, YCSB-A",
-		"system", "throughput (ops/s)", "vs static", "promos", "demos")
-	for _, system := range []string{"thermostat", "multiclock"} {
+	systems := []string{"thermostat", "multiclock"}
+	type granRes struct {
+		tp            float64
+		promos, demos int64
+	}
+	cells := runner.Map(opt.workers(), append([]string{"static"}, systems...), func(_ int, system string) granRes {
+		if system == "static" {
+			return granRes{tp: ycsbOneWorkload(sc, opt.Seed, system, sc.Interval)}
+		}
 		p, err := NewPolicy(system, sc.Interval)
 		if err != nil {
 			panic(err)
@@ -223,8 +261,16 @@ func AblationGranularity(opt Options) string {
 		client.Load()
 		tp := client.Run(ycsb.WorkloadA, sc.OpsPerWorkload).Throughput
 		stopDaemons(p)
-		tb.AddRow(system, fmt.Sprintf("%.0f", tp), fmt.Sprintf("%.3f", safeDiv(tp, static)),
-			fmt.Sprintf("%d", m.Mem.Counters.Promotions), fmt.Sprintf("%d", m.Mem.Counters.Demotions))
+		return granRes{tp: tp, promos: m.Mem.Counters.Promotions, demos: m.Mem.Counters.Demotions}
+	})
+	static := cells[0].tp
+	tb := stats.NewTable(
+		"Ablation — tiering granularity: Thermostat-style 2 MiB regions vs base pages, YCSB-A",
+		"system", "throughput (ops/s)", "vs static", "promos", "demos")
+	for i, system := range systems {
+		r := cells[i+1]
+		tb.AddRow(system, fmt.Sprintf("%.0f", r.tp), fmt.Sprintf("%.3f", safeDiv(r.tp, static)),
+			fmt.Sprintf("%d", r.promos), fmt.Sprintf("%d", r.demos))
 	}
 	return tb.String() +
 		"\nzipfian heat is spread across pages: few 2 MiB regions are uniformly cold,\n" +
@@ -258,8 +304,16 @@ func AblationTHP(opt Options) string {
 		stopDaemons(p)
 		return tp, m.Mem.Counters.Promotions, m.Mem.Counters.PagesScanned
 	}
-	baseTP, basePromos, baseScan := run(false)
-	hugeTP, hugePromos, hugeScan := run(true)
+	type thpRes struct {
+		tp              float64
+		promos, scanned int64
+	}
+	cells := runner.Map(opt.workers(), []bool{false, true}, func(_ int, huge bool) thpRes {
+		tp, promos, scanned := run(huge)
+		return thpRes{tp, promos, scanned}
+	})
+	baseTP, basePromos, baseScan := cells[0].tp, cells[0].promos, cells[0].scanned
+	hugeTP, hugePromos, hugeScan := cells[1].tp, cells[1].promos, cells[1].scanned
 	tb := stats.NewTable(
 		"Ablation — base pages vs transparent huge pages for item memory, multiclock, YCSB-A",
 		"backing", "throughput (ops/s)", "frames promoted", "pages scanned")

@@ -34,6 +34,21 @@ type Options struct {
 	// runs; Full reproduces the paper-scale interval of 1 s.
 	Quick bool
 	Seed  uint64
+	// Parallel is the maximum number of simulated machines in flight at
+	// once within an experiment. 0 and 1 both mean sequential; negative
+	// means GOMAXPROCS. Each sub-run (system×workload cell) is an
+	// independent single-threaded machine, so output is byte-identical
+	// at every setting: cells are scheduled across goroutines but their
+	// results reassemble in presentation order.
+	Parallel int
+}
+
+// workers resolves Parallel for runner.Map.
+func (o Options) workers() int {
+	if o.Parallel == 0 {
+		return 1
+	}
+	return o.Parallel
 }
 
 // DefaultOptions returns full-scale settings.

@@ -69,6 +69,7 @@ func TestFig5Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second experiment")
 	}
+	t.Parallel()
 	results, _ := ycsbShape(t)
 	workloads := []string{"A", "B", "C", "F", "W", "D"}
 	for _, w := range workloads {
@@ -118,6 +119,7 @@ func TestPromotionTelemetryShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second experiment")
 	}
+	t.Parallel()
 	mc, nb, _ := promotionTelemetry(quickOpt)
 	// Nimble promotes more pages (Fig. 8)...
 	if nb.Tracker.TotalPromotions() <= mc.Tracker.TotalPromotions() {
@@ -142,6 +144,7 @@ func TestFig10Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second experiment")
 	}
+	t.Parallel()
 	sc := quickOpt.scale()
 	base := ycsbSteadyWorkloadA(sc, quickOpt.Seed, "static", sc.Interval)
 	atOperating := ycsbSteadyWorkloadA(sc, quickOpt.Seed, "multiclock", sc.Interval)
@@ -206,6 +209,7 @@ func TestFig7Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second experiment")
 	}
+	t.Parallel()
 	sc := quickOpt.scale()
 	sc.Records = int64(16 * sc.DRAMPages)
 	static := ycsbRun(sc, quickOpt.Seed, "static", sc.Interval, false).Throughput
@@ -229,6 +233,7 @@ func TestGAPBSKernelRunnersProduceTime(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second experiment")
 	}
+	t.Parallel()
 	sc := quickOpt.scale()
 	sc.GraphVertices = 8000
 	sc.GraphDegree = 4
@@ -258,6 +263,7 @@ func TestAblationWriteAwareShowsBenefit(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second experiment")
 	}
+	t.Parallel()
 	out := AblationWriteAware(quickOpt)
 	if !strings.Contains(out, "write-biased") {
 		t.Fatalf("output: %s", out)
@@ -278,6 +284,7 @@ func TestMultiProcFairnessShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second experiment")
 	}
+	t.Parallel()
 	sc := quickOpt.scale()
 	stEarly, stLate := multiProcRun(sc, quickOpt.Seed, "static")
 	mcEarly, mcLate := multiProcRun(sc, quickOpt.Seed, "multiclock")
@@ -318,6 +325,7 @@ func TestFig6Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second experiment")
 	}
+	t.Parallel()
 	sc := quickOpt.scale()
 	kernels := []string{"BFS", "SSSP", "PR", "CC", "BC", "TC"}
 	for _, k := range kernels {

@@ -6,6 +6,7 @@ import (
 
 	"multiclock/internal/graph"
 	"multiclock/internal/machine"
+	"multiclock/internal/runner"
 	"multiclock/internal/sim"
 	"multiclock/internal/stats"
 )
@@ -86,12 +87,26 @@ func gapbsKernelTime(sc scale, seed uint64, system, kernel string) float64 {
 // better).
 func Fig6(opt Options) string {
 	sc := opt.scale()
-	results := map[string]map[string]float64{}
+	// 30 independent cells: every system×kernel pair builds and loads its
+	// own graph machine.
+	type fig6Cell struct {
+		system, kernel string
+	}
+	var cellDefs []fig6Cell
 	for _, system := range SystemNames {
-		results[system] = map[string]float64{}
 		for _, k := range gapbsKernels {
-			results[system][k] = gapbsKernelTime(sc, opt.Seed, system, k)
+			cellDefs = append(cellDefs, fig6Cell{system, k})
 		}
+	}
+	times := runner.Map(opt.workers(), cellDefs, func(_ int, c fig6Cell) float64 {
+		return gapbsKernelTime(sc, opt.Seed, c.system, c.kernel)
+	})
+	results := map[string]map[string]float64{}
+	for i, c := range cellDefs {
+		if results[c.system] == nil {
+			results[c.system] = map[string]float64{}
+		}
+		results[c.system][c.kernel] = times[i]
 	}
 	tb := stats.NewTable(
 		"Fig. 6 — GAPBS execution time normalized to static tiering (lower is better)",

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"multiclock/internal/pagetable"
+	"multiclock/internal/runner"
 	"multiclock/internal/sim"
 	"multiclock/internal/stats"
 	"multiclock/internal/trace"
@@ -23,14 +24,12 @@ func scalePattern(p trace.Pattern, duration sim.Duration) trace.Pattern {
 
 // Fig1 regenerates the motivation heatmaps: access frequency of 50 sampled
 // pages over time for the four workload patterns (RUBiS, SPECpower, xalan,
-// lusearch analogues — see the substitution note in internal/trace).
+// lusearch analogues — see the substitution note in internal/trace). Each
+// pattern runs on its own machine, so the four render in parallel.
 func Fig1(opt Options) string {
 	sc := opt.scale()
 	duration := 20 * sc.Interval
-	var b strings.Builder
-	b.WriteString("Fig. 1 — page access heatmaps, 50 sampled pages × time windows\n")
-	b.WriteString("(synthetic analogues of RUBiS/SPECpower/xalan/lusearch; see DESIGN.md)\n\n")
-	for _, preset := range trace.Patterns {
+	sections := runner.Map(opt.workers(), trace.Patterns, func(_ int, preset trace.Pattern) string {
 		p := scalePattern(preset, duration)
 		pol, _ := NewPolicy("static", sc.Interval)
 		m := machineFor(sc, opt.Seed, pol)
@@ -50,7 +49,13 @@ func Fig1(opt Options) string {
 		m.Observer = h
 		trace.RunPattern(m, as, p, duration, opt.Seed)
 
-		fmt.Fprintf(&b, "--- %s ---\n%s\n", p.Name, h.Render())
+		return fmt.Sprintf("--- %s ---\n%s\n", p.Name, h.Render())
+	})
+	var b strings.Builder
+	b.WriteString("Fig. 1 — page access heatmaps, 50 sampled pages × time windows\n")
+	b.WriteString("(synthetic analogues of RUBiS/SPECpower/xalan/lusearch; see DESIGN.md)\n\n")
+	for _, s := range sections {
+		b.WriteString(s)
 	}
 	return b.String()
 }
@@ -61,10 +66,7 @@ func Fig1(opt Options) string {
 func Fig2(opt Options) string {
 	sc := opt.scale()
 	duration := 24 * sc.Interval
-	tb := stats.NewTable(
-		"Fig. 2 — mean performance-window accesses by observation-window class",
-		"workload", "single-access pages", "multi-access pages", "ratio")
-	for _, preset := range trace.Patterns {
+	rows := runner.Map(opt.workers(), trace.Patterns, func(_ int, preset trace.Pattern) []string {
 		p := scalePattern(preset, duration)
 		pol, _ := NewPolicy("static", sc.Interval)
 		m := machineFor(sc, opt.Seed, pol)
@@ -73,10 +75,16 @@ func Fig2(opt Options) string {
 		m.Observer = wf
 		trace.RunPattern(m, as, p, duration, opt.Seed)
 		res := wf.Result()
-		tb.AddRow(p.Name,
+		return []string{p.Name,
 			fmt.Sprintf("%.2f", res.SingleMean),
 			fmt.Sprintf("%.2f", res.MultiMean),
-			fmt.Sprintf("%.1fx", safeDiv(res.MultiMean, res.SingleMean)))
+			fmt.Sprintf("%.1fx", safeDiv(res.MultiMean, res.SingleMean))}
+	})
+	tb := stats.NewTable(
+		"Fig. 2 — mean performance-window accesses by observation-window class",
+		"workload", "single-access pages", "multi-access pages", "ratio")
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	return tb.String() +
 		"\nexpected shape: multi-access pages dominate — the basis of MULTI-CLOCK's\n" +

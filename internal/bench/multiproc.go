@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"multiclock/internal/pagetable"
+	"multiclock/internal/runner"
 	"multiclock/internal/sim"
 	"multiclock/internal/stats"
 )
@@ -18,15 +19,20 @@ import (
 // (late/early), per policy.
 func AblationMultiProc(opt Options) string {
 	sc := opt.scale()
+	systems := []string{"static", "nimble", "multiclock"}
+	type raceRes struct{ early, late float64 }
+	cells := runner.Map(opt.workers(), systems, func(_ int, system string) raceRes {
+		early, late := multiProcRun(sc, opt.Seed, system)
+		return raceRes{early, late}
+	})
 	tb := stats.NewTable(
 		"Ablation — two-process DRAM allocation race (§II-D motivation)",
 		"policy", "early proc (ops/s)", "late proc (ops/s)", "late/early")
-	for _, system := range []string{"static", "nimble", "multiclock"} {
-		early, late := multiProcRun(sc, opt.Seed, system)
+	for i, system := range systems {
 		tb.AddRow(system,
-			fmt.Sprintf("%.0f", early),
-			fmt.Sprintf("%.0f", late),
-			fmt.Sprintf("%.3f", safeDiv(late, early)))
+			fmt.Sprintf("%.0f", cells[i].early),
+			fmt.Sprintf("%.0f", cells[i].late),
+			fmt.Sprintf("%.3f", safeDiv(cells[i].late, cells[i].early)))
 	}
 	return tb.String() +
 		"\nstatic tiering leaves the late process on PM forever; dynamic tiering\n" +

@@ -127,6 +127,7 @@ func TestSystemInvariantsUnderFuzz(t *testing.T) {
 	for _, system := range systems {
 		system := system
 		t.Run(system, func(t *testing.T) {
+			t.Parallel() // each fuzzOne builds its own machine
 			for seed := uint64(1); seed <= 3; seed++ {
 				fuzzOne(t, system, seed, ops)
 			}
@@ -137,6 +138,7 @@ func TestSystemInvariantsUnderFuzz(t *testing.T) {
 // Property: simulation is deterministic for every policy — same seed,
 // same elapsed time and counters.
 func TestDeterminismAcrossPolicies(t *testing.T) {
+	t.Parallel()
 	run := func(system string, seed uint64) (sim.Duration, mem.Counters) {
 		p, _ := NewPolicy(system, 5*sim.Millisecond)
 		cfg := machine.DefaultConfig()

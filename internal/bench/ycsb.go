@@ -6,6 +6,7 @@ import (
 
 	"multiclock/internal/kvstore"
 	"multiclock/internal/machine"
+	"multiclock/internal/runner"
 	"multiclock/internal/sim"
 	"multiclock/internal/stats"
 	"multiclock/internal/trace"
@@ -55,12 +56,15 @@ func Fig5(opt Options) string {
 	sc := opt.scale()
 	workloads := []string{"A", "B", "C", "F", "W", "D"}
 
+	// One schedulable cell per system; results keyed back by name.
+	cells := runner.Map(opt.workers(), SystemNames, func(_ int, system string) ycsbRunResult {
+		return ycsbRun(sc, opt.Seed, system, sc.Interval, false)
+	})
 	results := map[string]map[string]float64{}
 	notes := map[string]string{}
-	for _, system := range SystemNames {
-		r := ycsbRun(sc, opt.Seed, system, sc.Interval, false)
-		results[system] = r.Throughput
-		notes[system] = tierSummary(r.Machine)
+	for i, system := range SystemNames {
+		results[system] = cells[i].Throughput
+		notes[system] = tierSummary(cells[i].Machine)
 	}
 
 	tb := stats.NewTable(
@@ -101,10 +105,37 @@ func Fig7(opt Options) string {
 	sc.Records = int64(16 * sc.DRAMPages)
 	workloads := []string{"A", "B", "C", "F", "W", "D"}
 
-	results := map[string]map[string]float64{}
+	// Six independent cells: a YCSB sequence and a PageRank run per
+	// system, all scheduled together.
+	type fig7Cell struct {
+		system string
+		pr     bool
+	}
+	var cellDefs []fig7Cell
 	for _, system := range MemModeNames {
-		r := ycsbRun(sc, opt.Seed, system, sc.Interval, false)
-		results[system] = r.Throughput
+		cellDefs = append(cellDefs, fig7Cell{system, false})
+	}
+	for _, system := range MemModeNames {
+		cellDefs = append(cellDefs, fig7Cell{system, true})
+	}
+	type fig7Res struct {
+		tp     map[string]float64
+		prTime float64
+	}
+	cells := runner.Map(opt.workers(), cellDefs, func(_ int, c fig7Cell) fig7Res {
+		if c.pr {
+			return fig7Res{prTime: gapbsKernelTime(sc, opt.Seed, c.system, "PR")}
+		}
+		return fig7Res{tp: ycsbRun(sc, opt.Seed, c.system, sc.Interval, false).Throughput}
+	})
+	results := map[string]map[string]float64{}
+	times := map[string]float64{}
+	for i, c := range cellDefs {
+		if c.pr {
+			times[c.system] = cells[i].prTime
+		} else {
+			results[c.system] = cells[i].tp
+		}
 	}
 
 	tb := stats.NewTable(
@@ -124,10 +155,6 @@ func Fig7(opt Options) string {
 	}
 
 	// Fig. 7b: PageRank execution time.
-	times := map[string]float64{}
-	for _, system := range MemModeNames {
-		times[system] = gapbsKernelTime(sc, opt.Seed, system, "PR")
-	}
 	tb2 := stats.NewTable(
 		"Fig. 7b — PageRank execution time normalized to static (lower is better)",
 		"kernel", MemModeNames[0], MemModeNames[1], MemModeNames[2])
@@ -147,9 +174,10 @@ func Fig7(opt Options) string {
 // Fig8 and Fig9 share one instrumented run of MULTI-CLOCK and Nimble.
 func promotionTelemetry(opt Options) (mc, nb ycsbRunResult, sc scale) {
 	sc = opt.scale()
-	mc = ycsbRun(sc, opt.Seed, "multiclock", sc.Interval, true)
-	nb = ycsbRun(sc, opt.Seed, "nimble", sc.Interval, true)
-	return mc, nb, sc
+	cells := runner.Map(opt.workers(), []string{"multiclock", "nimble"}, func(_ int, system string) ycsbRunResult {
+		return ycsbRun(sc, opt.Seed, system, sc.Interval, true)
+	})
+	return cells[0], cells[1], sc
 }
 
 // Fig8 regenerates the pages-promoted-per-window comparison between
@@ -203,16 +231,27 @@ func Fig10(opt Options) string {
 		5 * sc.Interval,
 		60 * sc.Interval,
 	}
+	// The static baseline plus a multiclock and a nimble run per interval,
+	// all independent machines.
+	type sweepCell struct {
+		system   string
+		interval sim.Duration
+	}
+	cellDefs := []sweepCell{{"static", sc.Interval}}
+	for _, iv := range intervals {
+		cellDefs = append(cellDefs, sweepCell{"multiclock", iv}, sweepCell{"nimble", iv})
+	}
+	tps := runner.Map(opt.workers(), cellDefs, func(_ int, c sweepCell) float64 {
+		return ycsbSteadyWorkloadA(sc, opt.Seed, c.system, c.interval)
+	})
 	tb := stats.NewTable(
 		"Fig. 10 — YCSB-A throughput vs scan interval, normalized to static (higher is better)",
 		"interval", "multiclock", "nimble")
-	base := ycsbSteadyWorkloadA(sc, opt.Seed, "static", sc.Interval)
-	for _, iv := range intervals {
-		mc := ycsbSteadyWorkloadA(sc, opt.Seed, "multiclock", iv)
-		nb := ycsbSteadyWorkloadA(sc, opt.Seed, "nimble", iv)
+	base := tps[0]
+	for i, iv := range intervals {
 		tb.AddRow(iv.String(),
-			fmt.Sprintf("%.3f", safeDiv(mc, base)),
-			fmt.Sprintf("%.3f", safeDiv(nb, base)))
+			fmt.Sprintf("%.3f", safeDiv(tps[1+2*i], base)),
+			fmt.Sprintf("%.3f", safeDiv(tps[2+2*i], base)))
 	}
 	return tb.String() +
 		fmt.Sprintf("\npaper operating point: %v — the interval playing the paper's 1 s role\n"+

@@ -1,6 +1,10 @@
 package lru
 
-import "multiclock/internal/mem"
+import (
+	"sort"
+
+	"multiclock/internal/mem"
+)
 
 // ScanStats summarizes one scanner pass over a vec.
 type ScanStats struct {
@@ -42,18 +46,48 @@ func (v *Vec) ScanCycle(batch int) ScanStats {
 	if total == 0 || batch <= 0 {
 		return stats
 	}
+	// Proportional base quotas conserve the budget: integer division
+	// leaves a remainder of fewer than NumKinds pages, which is handed
+	// out one page at a time to the most populated lists first. The sum
+	// of quotas is exactly min(batch, total) — the old quota==0→1 bump
+	// could scan several pages over budget when many lists were
+	// near-empty, and the discarded remainder could leave budget unspent.
+	var quotas [Unevictable]int
+	assigned := 0
+	order := make([]Kind, 0, Unevictable)
 	for k := Kind(0); k < Unevictable; k++ {
 		if lens[k] == 0 {
 			continue
 		}
-		quota := batch * lens[k] / total
-		if quota == 0 {
-			quota = 1
+		q := batch * lens[k] / total
+		if q > lens[k] {
+			q = lens[k]
 		}
-		if quota > lens[k] {
-			quota = lens[k]
+		quotas[k] = q
+		assigned += q
+		order = append(order, k)
+	}
+	sort.SliceStable(order, func(i, j int) bool { return lens[order[i]] > lens[order[j]] })
+	for rem := batch - assigned; rem > 0; {
+		gave := false
+		for _, k := range order {
+			if rem == 0 {
+				break
+			}
+			if quotas[k] < lens[k] {
+				quotas[k]++
+				rem--
+				gave = true
+			}
 		}
-		stats.Add(v.scanList(k, quota))
+		if !gave {
+			break // every list fully covered; batch exceeds total
+		}
+	}
+	for k := Kind(0); k < Unevictable; k++ {
+		if quotas[k] > 0 {
+			stats.Add(v.scanList(k, quotas[k]))
+		}
 	}
 	return stats
 }

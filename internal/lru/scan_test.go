@@ -132,11 +132,70 @@ func TestScanCycleRespectsBudget(t *testing.T) {
 	v := NewVec(0)
 	populate(v, 10000)
 	stats := v.ScanCycle(1024)
-	if stats.Scanned > 1024+int(NumKinds) {
-		t.Fatalf("Scanned = %d, budget was 1024", stats.Scanned)
+	if stats.Scanned != 1024 {
+		t.Fatalf("Scanned = %d, want exactly the 1024-page budget", stats.Scanned)
 	}
-	if stats.Scanned < 1024 {
-		t.Fatalf("Scanned = %d, want full budget on a large list", stats.Scanned)
+}
+
+// TestScanCycleBudgetConservedAcrossManyLists pins the budget-conservation
+// contract: with one large list and several near-empty ones, the
+// per-list quotas must still sum to the batch. The pre-fix code dropped
+// the integer-division remainder and then bumped every zero quota to 1,
+// scanning up to NumKinds-1 pages over budget per cycle.
+func TestScanCycleBudgetConservedAcrossManyLists(t *testing.T) {
+	v := NewVec(0)
+	pages := populate(v, 1000) // inactive anon
+	// One page on each remaining evictable list.
+	for i := 0; i < 2; i++ {
+		v.MarkAccessed(pages[0]) // → active anon
+	}
+	for i := 0; i < 4; i++ {
+		v.MarkAccessed(pages[1]) // → promote anon
+	}
+	fi := filePage()
+	v.Add(fi) // inactive file
+	fa := filePage()
+	v.Add(fa)
+	for i := 0; i < 2; i++ {
+		v.MarkAccessed(fa) // → active file
+	}
+	fp := filePage()
+	v.Add(fp)
+	for i := 0; i < 4; i++ {
+		v.MarkAccessed(fp) // → promote file
+	}
+	if got := v.TotalEvictable(); got != 1003 {
+		t.Fatalf("setup: evictable = %d, want 1003", got)
+	}
+
+	const batch = 8
+	stats := v.ScanCycle(batch)
+	if stats.Scanned > batch {
+		t.Fatalf("Scanned = %d, budget was %d (budget not conserved)", stats.Scanned, batch)
+	}
+	if stats.Scanned < batch {
+		t.Fatalf("Scanned = %d of %d, budget unspent despite 1003 available pages", stats.Scanned, batch)
+	}
+}
+
+// TestScanCycleFullBudgetUse: the remainder redistribution must spend the
+// whole budget whenever enough pages exist, and scan everything (once)
+// when the budget exceeds the population.
+func TestScanCycleFullBudgetUse(t *testing.T) {
+	v := NewVec(0)
+	pages := populate(v, 90)
+	for i := 0; i < 30; i++ {
+		v.MarkAccessed(pages[i])
+		v.MarkAccessed(pages[i]) // 30 active, 60 inactive
+	}
+	// batch < total: exactly batch pages scanned (old code lost the
+	// remainder: 7*60/90=4 plus 7*30/90=2 → 6 of 7).
+	if got := v.ScanCycle(7).Scanned; got != 7 {
+		t.Fatalf("Scanned = %d, want 7", got)
+	}
+	// batch ≥ total: every page scanned exactly once, never more.
+	if got := v.ScanCycle(1000).Scanned; got != 90 {
+		t.Fatalf("Scanned = %d, want all 90", got)
 	}
 }
 

@@ -184,9 +184,14 @@ func NewTable(title string, header ...string) *Table {
 	return &Table{Title: title, header: header}
 }
 
-// AddRow appends a row; cells beyond the header width are dropped, missing
-// cells render empty.
+// AddRow appends a row; missing cells render empty. Passing more cells
+// than the table has headers panics: silently dropping the extras (the
+// old behavior) could hide a miscounted column in a regenerated figure.
 func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		panic(fmt.Sprintf("stats: AddRow with %d cells into %d-column table %q",
+			len(cells), len(t.header), t.Title))
+	}
 	row := make([]string, len(t.header))
 	copy(row, cells)
 	t.rows = append(t.rows, row)

@@ -147,6 +147,19 @@ func TestTableShortRow(t *testing.T) {
 	}
 }
 
+// TestTableOverfullRowPanics pins the AddRow contract: a row wider than
+// the header is a caller bug, and silently dropping the extra cells (the
+// old behavior) would hide a miscounted column in a regenerated figure.
+func TestTableOverfullRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on overfull row")
+		}
+	}()
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "2", "dropped-before-this-fix")
+}
+
 func TestFormatNum(t *testing.T) {
 	cases := map[float64]string{
 		3:       "3",

@@ -6,6 +6,8 @@
 //	mcbench -exp fig5                  # one experiment at full scale
 //	mcbench -exp all -quick            # everything, CI-speed
 //	mcbench -exp all -parallel 0       # fan runs out across all cores
+//	mcbench -exp fig5 -chaos 42,0.01   # run under deterministic fault injection
+//	mcbench -exp all -deadline 30m     # abort (exit 3) past a wall-clock budget
 //	mcbench -list                      # show available experiment ids
 //
 // Every simulated machine is an independent single-threaded system, so
@@ -18,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"multiclock/internal/bench"
+	"multiclock/internal/fault"
 	"multiclock/internal/runner"
 )
 
@@ -29,7 +33,29 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 1, "max simulation runs in flight (0 = GOMAXPROCS, 1 = sequential)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	chaosSpec := flag.String("chaos", "", "deterministic fault injection as seed,rate (e.g. 42,0.01); empty disables")
+	deadline := flag.Duration("deadline", 0, "abort with a non-zero exit if wall-clock runtime exceeds this (0 = no limit)")
 	flag.Parse()
+
+	chaos, err := fault.ParseSpec(*chaosSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
+		os.Exit(2)
+	}
+	if *deadline < 0 {
+		fmt.Fprintf(os.Stderr, "mcbench: -deadline must be non-negative, got %v\n", *deadline)
+		os.Exit(2)
+	}
+	if *deadline > 0 {
+		// A runaway experiment (bad flag combination, pathological scale)
+		// must not hang CI forever: kill the whole process once the budget
+		// is spent, loudly and with a distinctive exit code.
+		d := *deadline
+		time.AfterFunc(d, func() {
+			fmt.Fprintf(os.Stderr, "mcbench: wall-clock deadline %v exceeded; aborting\n", d)
+			os.Exit(3)
+		})
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -48,7 +74,7 @@ func main() {
 	if workers <= 0 {
 		workers = -1 // GOMAXPROCS, resolved by the runner
 	}
-	opt := bench.Options{Quick: *quick, Seed: *seed, Parallel: workers}
+	opt := bench.Options{Quick: *quick, Seed: *seed, Parallel: workers, Chaos: chaos}
 	names := []string{*exp}
 	if *exp == "all" {
 		names = append(bench.Names(), "table2")

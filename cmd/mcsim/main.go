@@ -7,6 +7,7 @@
 //	mcsim -policy multiclock -workload A -records 20000 -ops 500000
 //	mcsim -policy static -gapbs PR -vertices 40000
 //	mcsim -policy static,nimble,multiclock -workload D -parallel 0
+//	mcsim -policy multiclock -workload A -chaos 42,0.01
 //
 // With a comma-separated policy list every policy gets its own machine;
 // -parallel N fans them out across goroutines. Each machine is an
@@ -44,6 +45,7 @@ type config struct {
 	pm         int
 	scan       multiclock.Duration
 	seed       uint64
+	chaos      multiclock.FaultConfig
 }
 
 func main() {
@@ -63,7 +65,14 @@ func main() {
 	interval := flag.Duration("interval", 0, "scan interval (virtual; default 100ms)")
 	parallel := flag.Int("parallel", 1, "max policies simulated at once (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	chaosSpec := flag.String("chaos", "", "deterministic fault injection as seed,rate (e.g. 42,0.01); empty disables")
 	flag.Parse()
+
+	chaos, err := multiclock.ParseFaultSpec(*chaosSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	scan := multiclock.Duration(100 * 1e6)
 	if *interval > 0 {
@@ -94,7 +103,7 @@ func main() {
 			policy: p, workload: *workload, sequence: *sequence, gapbs: *gapbs,
 			records: *records, ops: *ops, vertices: *vertices, degree: *degree,
 			record: *record, replay: *replay, replayFast: *replayFast,
-			dram: *dram, pm: *pm, scan: scan, seed: *seed,
+			dram: *dram, pm: *pm, scan: scan, seed: *seed, chaos: chaos,
 		}
 		tasks = append(tasks, runner.Task[string]{Name: p, Fn: func() (string, error) {
 			var b strings.Builder
@@ -132,6 +141,7 @@ func runOne(w io.Writer, cfg config) error {
 		PMPages:      cfg.pm,
 		ScanInterval: cfg.scan,
 		Seed:         cfg.seed,
+		Chaos:        cfg.chaos,
 	})
 	defer sys.Stop()
 
@@ -186,6 +196,12 @@ func runOne(w io.Writer, cfg config) error {
 
 	fmt.Fprintf(w, "\npolicy: %s\nvirtual time: %v\n", sys.PolicyName(), sys.Elapsed())
 	fmt.Fprintln(w, sys.Counters())
+	if fr := sys.FaultReport(); fr != "" {
+		fmt.Fprintln(w, fr)
+		if err := sys.CheckInvariants(); err != nil {
+			return fmt.Errorf("invariant check after chaos run: %w", err)
+		}
+	}
 	return nil
 }
 

@@ -26,6 +26,7 @@ func runMCWorkloadA(sc scale, seed uint64, cfg core.Config, mcfg func(*machine.C
 	machineCfg.Mem.PMNodes = []int{sc.PMPages}
 	machineCfg.Seed = seed
 	machineCfg.OpCost = 1 * sim.Microsecond
+	machineCfg.Faults = sc.Chaos
 	if mcfg != nil {
 		mcfg(&machineCfg)
 	}

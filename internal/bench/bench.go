@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"multiclock/internal/core"
+	"multiclock/internal/fault"
 	"multiclock/internal/machine"
 	"multiclock/internal/mem"
 	"multiclock/internal/policy"
@@ -41,6 +42,10 @@ type Options struct {
 	// at every setting: cells are scheduled across goroutines but their
 	// results reassemble in presentation order.
 	Parallel int
+	// Chaos configures deterministic fault injection on every machine the
+	// experiment builds. The zero value disables injection entirely and
+	// reproduces fault-free output bit for bit.
+	Chaos fault.Config
 }
 
 // workers resolves Parallel for runner.Map.
@@ -119,9 +124,18 @@ type scale struct {
 	PRIters        int
 	BFSTrials      int
 	BCSources      int
+	// Chaos passes the Options fault-injection config through to every
+	// machine the experiment builds.
+	Chaos fault.Config
 }
 
 func (o Options) scale() scale {
+	sc := o.sizes()
+	sc.Chaos = o.Chaos
+	return sc
+}
+
+func (o Options) sizes() scale {
 	if o.Quick {
 		return scale{
 			Interval:       10 * sim.Millisecond,
@@ -165,6 +179,7 @@ func machineFor(sc scale, seed uint64, p machine.Policy) *machine.Machine {
 	cfg.Mem.PMNodes = []int{sc.PMPages}
 	cfg.Seed = seed
 	cfg.OpCost = 1 * sim.Microsecond
+	cfg.Faults = sc.Chaos
 	return machine.New(cfg, p)
 }
 

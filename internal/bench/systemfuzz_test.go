@@ -9,63 +9,19 @@ import (
 	"testing"
 	"testing/quick"
 
-	"multiclock/internal/lru"
 	"multiclock/internal/machine"
 	"multiclock/internal/mem"
 	"multiclock/internal/pagetable"
 	"multiclock/internal/sim"
 )
 
-// checkInvariants asserts the machine's global consistency.
+// checkInvariants asserts the machine's global consistency via the
+// production checker (machine.CheckInvariants layers LRU and page-table
+// consistency on mem.CheckInvariants).
 func checkInvariants(t *testing.T, m *machine.Machine) {
 	t.Helper()
-
-	used := 0
-	for _, n := range m.Mem.Nodes {
-		if n.FreeFrames() < 0 || n.FreeFrames() > n.Frames {
-			t.Fatalf("node %d free frames out of range: %d/%d", n.ID, n.FreeFrames(), n.Frames)
-		}
-		used += n.UsedFrames()
-	}
-
-	mapped := 0
-	for _, as := range m.Spaces() {
-		mapped += as.Mapped()
-	}
-	if used != mapped {
-		t.Fatalf("frames used %d != PTEs mapped %d (leak or double-map)", used, mapped)
-	}
-
-	onLists := 0
-	for _, vec := range m.Vecs {
-		for k := lru.Kind(0); k < lru.NumKinds; k++ {
-			vec.List(k).Each(func(pg *mem.Page) {
-				onLists++
-				// KindOf panics if flags disagree with list membership.
-				if got := vec.KindOf(pg); got != k {
-					t.Fatalf("page on list %v reports kind %v", k, got)
-				}
-				if pg.Node == mem.NoNode || pg.Frame == mem.NoFrame {
-					t.Fatal("freed page still on LRU")
-				}
-				if pg.Flags.Has(mem.FlagIsolated) {
-					t.Fatal("isolated page on LRU")
-				}
-			})
-		}
-	}
-	if onLists != used {
-		t.Fatalf("LRU population %d != frames used %d", onLists, used)
-	}
-
-	c := &m.Mem.Counters
-	var allocs, frees int64
-	for tier := mem.Tier(0); tier < mem.NumTiers; tier++ {
-		allocs += c.Allocs[tier]
-		frees += c.Frees[tier]
-	}
-	if allocs-frees != int64(used) {
-		t.Fatalf("alloc/free accounting: %d - %d != %d used", allocs, frees, used)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

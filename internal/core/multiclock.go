@@ -50,6 +50,26 @@ type Config struct {
 	// ordering (writes to PM are the most expensive accesses). Zero keeps
 	// the paper's read/write-oblivious behaviour.
 	WriteBias bool
+
+	// PromoteRetryMax bounds how many times a promote-list page whose
+	// migration failed transiently (pinned page, destination allocation
+	// denial) is requeued onto the promote list — with exponential backoff
+	// in virtual time — before dropping to the active list for good. Zero
+	// keeps the paper's behaviour (drop to active immediately, §III-C)
+	// unless the machine injects faults, in which case Attach defaults it
+	// to 3; negative forces the paper's behaviour even under injection.
+	PromoteRetryMax int
+	// PromoteBackoff is the wait before the first promotion retry; it
+	// doubles per subsequent failure of the same page. Zero defaults to
+	// ScanInterval.
+	PromoteBackoff sim.Duration
+	// DemoteRetryMax bounds how many times a demotion candidate whose
+	// downward migration failed is returned to its inactive list before
+	// demotion falls back to swapping it out. Zero falls back to swap
+	// immediately (the pre-fault-model behaviour) unless the machine
+	// injects faults, in which case Attach defaults it to 2; negative
+	// forces immediate fallback.
+	DemoteRetryMax int
 }
 
 // DefaultConfig returns the paper's operating point: 1 s interval, 1024
@@ -68,11 +88,27 @@ func DefaultConfig() Config {
 // mirroring the kernel's clustered reclaim so kswapd work is amortized.
 const reclaimCluster = 32
 
+// retryState is the per-page bookkeeping behind bounded retries: how many
+// times each direction of migration has transiently failed, and (for
+// promotions) the virtual instant before which the page just waits on the
+// promote list instead of spending another attempt.
+type retryState struct {
+	promoteFails uint8
+	demoteFails  uint8
+	nextTry      sim.Time
+}
+
 // MultiClock is the policy object. Create with New, pass to machine.New.
 type MultiClock struct {
 	machine.Base
 	cfg     Config
 	daemons []*sim.Daemon
+
+	// retries tracks per-page transient-failure state for the bounded
+	// requeue/backoff paths. Populated only when retries are enabled;
+	// entries die with the page (PageFreed) or when it finally migrates
+	// or falls back.
+	retries map[*mem.Page]*retryState
 
 	// lastDemote rate-limits pressure episodes to one per node per
 	// virtual instant: a promotion burst would otherwise run many
@@ -85,6 +121,14 @@ type MultiClock struct {
 	// Stats beyond the machine counters.
 	PromoteAttempts int64
 	PromoteFails    int64
+	// PromoteRequeues counts failed promotions requeued for retry;
+	// PromoteDrops counts pages that exhausted their retries and fell to
+	// the active list. DemoteRequeues/DemoteSwapFallbacks mirror them on
+	// the demotion path.
+	PromoteRequeues     int64
+	PromoteDrops        int64
+	DemoteRequeues      int64
+	DemoteSwapFallbacks int64
 	// MinIntervalSeen records the shortest interval the adaptive
 	// extension reached (zero when never adapted downward).
 	MinIntervalSeen sim.Duration
@@ -128,6 +172,30 @@ func (mc *MultiClock) Config() Config { return mc.cfg }
 // prototype's one-thread-per-node design to avoid lock contention (§IV).
 func (mc *MultiClock) Attach(m *machine.Machine) {
 	mc.Base.Attach(m)
+	// Under fault injection, transient migration failures are expected
+	// rather than exceptional, so bounded retries default on; a fault-free
+	// machine keeps the paper's drop-immediately behaviour unless the
+	// configuration asks otherwise.
+	if m.Faults != nil {
+		if mc.cfg.PromoteRetryMax == 0 {
+			mc.cfg.PromoteRetryMax = 3
+		}
+		if mc.cfg.DemoteRetryMax == 0 {
+			mc.cfg.DemoteRetryMax = 2
+		}
+	}
+	if mc.cfg.PromoteRetryMax < 0 {
+		mc.cfg.PromoteRetryMax = 0
+	}
+	if mc.cfg.DemoteRetryMax < 0 {
+		mc.cfg.DemoteRetryMax = 0
+	}
+	if mc.cfg.PromoteBackoff <= 0 {
+		mc.cfg.PromoteBackoff = mc.cfg.ScanInterval
+	}
+	if mc.cfg.PromoteRetryMax > 0 || mc.cfg.DemoteRetryMax > 0 {
+		mc.retries = make(map[*mem.Page]*retryState)
+	}
 	for _, n := range m.Mem.Nodes {
 		node := n.ID
 		var d *sim.Daemon
@@ -136,8 +204,17 @@ func (mc *MultiClock) Attach(m *machine.Machine) {
 			if mc.cfg.Adaptive {
 				mc.adapt(d, promoted)
 			}
+			m.FinishDaemonPass(d)
 		})
 		mc.daemons = append(mc.daemons, d)
+	}
+}
+
+// PageFreed drops any retry bookkeeping for a page whose frame is being
+// released, so the map never holds entries for dead pages.
+func (mc *MultiClock) PageFreed(pg *mem.Page) {
+	if len(mc.retries) != 0 {
+		delete(mc.retries, pg)
 	}
 }
 
@@ -228,6 +305,15 @@ func (mc *MultiClock) kpromoted(node mem.NodeID) int {
 
 	promoted := 0
 	for _, pg := range candidates {
+		if st := mc.retries[pg]; st != nil && st.nextTry > m.Clock.Now() {
+			// Still backing off from an earlier transient failure: park
+			// the page on the promote list without spending an attempt.
+			// RequeuePromote re-arms the referenced flag so the wait
+			// survives the next scan cycle's decay.
+			lru.RequeuePromote(pg)
+			vec.Putback(pg)
+			continue
+		}
 		if mc.cfg.PromoteMax >= 0 && promoted >= mc.cfg.PromoteMax {
 			// Budget spent: the page keeps its promote state and waits
 			// for the next wakeup.
@@ -240,14 +326,42 @@ func (mc *MultiClock) kpromoted(node mem.NodeID) int {
 		lru.ClearPromote(pg)
 		if mc.promoteIsolated(pg, len(candidates)) {
 			promoted++
+			delete(mc.retries, pg)
 		} else {
 			mc.PromoteFails++
-			// Paper: pages that cannot migrate move to the active list
-			// of their current tier (§III-C).
-			m.Vecs[pg.Node].Putback(pg)
+			mc.retryPromote(pg)
 		}
 	}
 	return promoted
+}
+
+// retryPromote decides where a failed promotion lands. While the page has
+// retry budget it is requeued onto the promote list with exponential
+// backoff in virtual time — a transiently pinned page or momentarily full
+// destination should not cost the page its earned heat. Once the budget is
+// exhausted it drops to the active list of its current tier, the paper's
+// behaviour (§III-C).
+func (mc *MultiClock) retryPromote(pg *mem.Page) {
+	if mc.cfg.PromoteRetryMax > 0 {
+		st := mc.retries[pg]
+		if st == nil {
+			st = &retryState{}
+			mc.retries[pg] = st
+		}
+		if int(st.promoteFails) < mc.cfg.PromoteRetryMax {
+			st.promoteFails++
+			st.nextTry = mc.M.Clock.Now() + sim.Time(mc.cfg.PromoteBackoff<<(st.promoteFails-1))
+			mc.PromoteRequeues++
+			lru.RequeuePromote(pg)
+			mc.M.Vecs[pg.Node].Putback(pg)
+			return
+		}
+		delete(mc.retries, pg)
+		mc.PromoteDrops++
+	}
+	// Paper: pages that cannot migrate move to the active list of their
+	// current tier (§III-C). ClearPromote already set the flags.
+	mc.M.Vecs[pg.Node].Putback(pg)
 }
 
 // promoteIsolated migrates one isolated page to the DRAM tier, demoting
@@ -346,9 +460,35 @@ func (mc *MultiClock) demoteFrom(node mem.NodeID, extra int) {
 				m.SplitHuge(pg)
 				continue
 			}
-			mc.evictIsolated(pg)
+			mc.retryDemote(pg)
+			continue
 		}
+		delete(mc.retries, pg)
 	}
+}
+
+// retryDemote returns a demotion candidate whose downward migration failed
+// transiently to its inactive list for a bounded number of attempts; only
+// after the budget is exhausted does demotion fall back to swapping the
+// page out (synchronous writeback is strictly worse than a retried
+// migration).
+func (mc *MultiClock) retryDemote(pg *mem.Page) {
+	if mc.cfg.DemoteRetryMax > 0 {
+		st := mc.retries[pg]
+		if st == nil {
+			st = &retryState{}
+			mc.retries[pg] = st
+		}
+		if int(st.demoteFails) < mc.cfg.DemoteRetryMax {
+			st.demoteFails++
+			mc.DemoteRequeues++
+			mc.M.Vecs[pg.Node].Putback(pg)
+			return
+		}
+		delete(mc.retries, pg)
+		mc.DemoteSwapFallbacks++
+	}
+	mc.evictIsolated(pg)
 }
 
 // evictIsolated writes an isolated page to swap, splitting compound pages

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"multiclock/internal/fault"
 	"multiclock/internal/lru"
 	"multiclock/internal/machine"
 	"multiclock/internal/mem"
@@ -373,5 +374,150 @@ func TestFrameConservationUnderChurn(t *testing.T) {
 	}
 	if onLists != used {
 		t.Fatalf("LRU population %d != frames used %d", onLists, used)
+	}
+}
+
+// testChaosMachine builds a machine with the given fault-injection
+// configuration attached.
+func testChaosMachine(dram, pm int, cfg Config, fcfg fault.Config) (*machine.Machine, *MultiClock) {
+	mc := New(cfg)
+	mcfg := machine.DefaultConfig()
+	mcfg.Mem.DRAMNodes = []int{dram}
+	mcfg.Mem.PMNodes = []int{pm}
+	mcfg.OpCost = 0
+	mcfg.CPUCachePages = 0
+	mcfg.Faults = fcfg
+	m := machine.New(mcfg, mc)
+	return m, mc
+}
+
+// TestPromoteRetryBackoff: when a promotion cannot migrate (here DRAM is
+// pinned solid with mlocked pages), the failed page must be requeued onto
+// the promote list for a bounded number of backoff retries, and only then
+// dropped to the active list — never silently lost.
+func TestPromoteRetryBackoff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PromoteRetryMax = 2
+	cfg.PromoteBackoff = 1 * sim.Second
+	m, mc := testMachine(64, 512, cfg)
+	as := m.NewSpace()
+
+	// Fill DRAM with unevictable pages so every promotion attempt fails:
+	// makeRoomInDRAM cannot demote locked pages.
+	pin := as.Mmap(64, false, "pin")
+	pin.Locked = true
+	for i := 0; i < 64; i++ {
+		m.Access(as, pin.Start+pagetable.VPN(i), false)
+	}
+	// A hot set that lands in PM (DRAM is full) and earns promotion.
+	hot := as.Mmap(32, false, "hot")
+	for round := 0; round < 14; round++ {
+		for i := 0; i < 32; i++ {
+			m.Access(as, hot.Start+pagetable.VPN(i), false)
+		}
+		m.Compute(1100 * sim.Millisecond)
+	}
+
+	if mc.PromoteFails == 0 {
+		t.Fatal("setup: promotions never failed despite pinned DRAM")
+	}
+	// A stray free frame may admit a promotion or two (watermark reserve
+	// pushed one pin page to PM), but the tier as a whole must stay shut.
+	if m.Mem.Counters.Promotions >= 8 {
+		t.Fatalf("promoted %d pages out of a pinned-solid DRAM tier", m.Mem.Counters.Promotions)
+	}
+	if mc.PromoteRequeues == 0 {
+		t.Fatal("failed promotions were never requeued for retry")
+	}
+	if mc.PromoteDrops == 0 {
+		t.Fatal("retry budget never exhausted: pages must eventually drop to active")
+	}
+	// Every page that dropped spent its full budget first.
+	if mc.PromoteRequeues < int64(cfg.PromoteRetryMax)*mc.PromoteDrops {
+		t.Fatalf("requeues=%d < max(%d)*drops=%d: pages dropped early",
+			mc.PromoteRequeues, cfg.PromoteRetryMax, mc.PromoteDrops)
+	}
+	// No hot page may vanish: still mapped, still in PM, on a list.
+	for i := 0; i < 32; i++ {
+		pg := as.Lookup(hot.Start + pagetable.VPN(i))
+		if pg == nil {
+			t.Fatalf("hot page %d vanished during retries", i)
+		}
+		if !pg.Flags.Has(mem.FlagLRU) || pg.Flags.Has(mem.FlagIsolated) {
+			t.Fatalf("hot page %d leaked off the LRU: flags %v", i, pg.Flags)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDemoteRetrySwapFallback: under 100% pinned-migration injection,
+// demotion candidates must be returned to their inactive list for the
+// bounded retry budget and fall back to swap only after it is spent.
+func TestDemoteRetrySwapFallback(t *testing.T) {
+	fcfg := fault.Config{Seed: 42}
+	fcfg.Rates[fault.MigratePinned] = 1.0
+	m, mc := testChaosMachine(64, 512, DefaultConfig(), fcfg)
+
+	// Fault injection present and retry knobs unset: Attach defaults them.
+	if mc.cfg.PromoteRetryMax != 3 || mc.cfg.DemoteRetryMax != 2 {
+		t.Fatalf("chaos retry defaults not applied: %+v", mc.cfg)
+	}
+
+	as := m.NewSpace()
+	v := as.Mmap(300, false, "stream")
+	for i := 0; i < 300; i++ {
+		m.Access(as, v.Start+pagetable.VPN(i), false)
+	}
+	m.Compute(5 * sim.Second)
+
+	if m.Mem.Counters.Demotions != 0 {
+		t.Fatalf("%d demotions succeeded with pinned rate 1.0", m.Mem.Counters.Demotions)
+	}
+	if mc.DemoteRequeues == 0 {
+		t.Fatal("failed demotions were never retried")
+	}
+	if mc.DemoteSwapFallbacks == 0 || m.Mem.Counters.SwapOuts == 0 {
+		t.Fatalf("no swap fallback after retry exhaustion (fallbacks=%d swapouts=%d)",
+			mc.DemoteSwapFallbacks, m.Mem.Counters.SwapOuts)
+	}
+	// Each fallback page spent its full DemoteRetryMax budget first.
+	if mc.DemoteRequeues < int64(mc.cfg.DemoteRetryMax)*mc.DemoteSwapFallbacks {
+		t.Fatalf("requeues=%d < max(%d)*fallbacks=%d: pages swapped early",
+			mc.DemoteRequeues, mc.cfg.DemoteRetryMax, mc.DemoteSwapFallbacks)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryDisabledByNegativeConfig: negative retry maxima force the
+// paper's original drop/swap-immediately behaviour even under injection.
+func TestRetryDisabledByNegativeConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PromoteRetryMax = -1
+	cfg.DemoteRetryMax = -1
+	fcfg := fault.Config{Seed: 7}
+	fcfg.Rates[fault.MigratePinned] = 1.0
+	m, mc := testChaosMachine(64, 512, cfg, fcfg)
+	if mc.retries != nil {
+		t.Fatal("retry map allocated despite retries disabled")
+	}
+	as := m.NewSpace()
+	v := as.Mmap(300, false, "stream")
+	for i := 0; i < 300; i++ {
+		m.Access(as, v.Start+pagetable.VPN(i), false)
+	}
+	m.Compute(3 * sim.Second)
+	if mc.PromoteRequeues != 0 || mc.DemoteRequeues != 0 {
+		t.Fatalf("requeues happened with retries disabled: p=%d d=%d",
+			mc.PromoteRequeues, mc.DemoteRequeues)
+	}
+	if m.Mem.Counters.SwapOuts == 0 {
+		t.Fatal("expected immediate swap fallback with retries disabled")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }

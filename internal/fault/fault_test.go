@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"multiclock/internal/sim"
+)
+
+func TestZeroRateInjectsNothingAndDrawsNothing(t *testing.T) {
+	clock := sim.NewClock()
+	f := New(clock, Config{Seed: 7})
+	// Capture the RNG sequence by building a twin injector and exhausting
+	// the same calls: if disabled kinds drew randomness, the sequences
+	// would diverge once one kind is enabled later.
+	for i := 0; i < 1000; i++ {
+		if f.MigrationPinned() || f.TargetDenied() || f.AllocDenied(true) {
+			t.Fatal("zero-rate injector injected a fault")
+		}
+		if f.AccessDelay(true, 300) != 0 || f.Overrun(100) != 0 {
+			t.Fatal("zero-rate injector charged latency")
+		}
+	}
+	if f.Counters.Total() != 0 {
+		t.Fatalf("counters nonzero: %v", f.Counters)
+	}
+}
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var f *Injector
+	if f.MigrationPinned() || f.TargetDenied() || f.AllocDenied(true) {
+		t.Fatal("nil injector injected")
+	}
+	if f.AccessDelay(true, 300) != 0 || f.Overrun(100) != 0 {
+		t.Fatal("nil injector charged latency")
+	}
+}
+
+func TestDeterministicSequence(t *testing.T) {
+	run := func() ([]bool, Counters) {
+		clock := sim.NewClock()
+		f := New(clock, UniformRate(42, 0.1))
+		var seq []bool
+		for i := 0; i < 2000; i++ {
+			seq = append(seq, f.MigrationPinned(), f.TargetDenied())
+			clock.Advance(10 * sim.Microsecond)
+		}
+		return seq, f.Counters
+	}
+	s1, c1 := run()
+	s2, c2 := run()
+	if c1 != c2 {
+		t.Fatalf("counters diverged: %v vs %v", c1, c2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("fault sequence diverged at %d", i)
+		}
+	}
+	if c1.Total() == 0 {
+		t.Fatal("rate 0.1 over 4000 trials injected nothing")
+	}
+}
+
+func TestRateOneAlwaysInjects(t *testing.T) {
+	f := New(sim.NewClock(), UniformRate(1, 1.0))
+	for i := 0; i < 100; i++ {
+		if !f.MigrationPinned() {
+			t.Fatal("rate-1 injector skipped a fault")
+		}
+	}
+	if f.Counters.Injected[MigratePinned] != 100 {
+		t.Fatalf("pinned count = %d", f.Counters.Injected[MigratePinned])
+	}
+}
+
+func TestPMSlowdownWindow(t *testing.T) {
+	clock := sim.NewClock()
+	cfg := Config{Seed: 3}
+	cfg.Rates[PMSlowdown] = 1.0
+	cfg.PMSlowdownFactor = 4
+	cfg.PMSlowdownWindow = 1 * sim.Millisecond
+	f := New(clock, cfg)
+
+	// First access opens the window; extra = (4-1) × base.
+	if d := f.AccessDelay(true, 300); d != 900 {
+		t.Fatalf("slowdown delay = %v, want 900ns", d)
+	}
+	opened := f.Counters.Injected[PMSlowdown]
+	if opened != 1 {
+		t.Fatalf("windows opened = %d", opened)
+	}
+	// Inside the window: same penalty, no new window counted.
+	clock.Advance(100 * sim.Microsecond)
+	if d := f.AccessDelay(true, 300); d != 900 {
+		t.Fatalf("in-window delay = %v", d)
+	}
+	if f.Counters.Injected[PMSlowdown] != opened {
+		t.Fatal("in-window access opened another window")
+	}
+	// DRAM accesses never pay.
+	if f.AccessDelay(false, 80) != 0 {
+		t.Fatal("DRAM access charged a PM slowdown")
+	}
+	// Past the window a new one opens (rate 1).
+	clock.Advance(2 * sim.Millisecond)
+	if d := f.AccessDelay(true, 300); d != 900 {
+		t.Fatalf("post-window delay = %v", d)
+	}
+	if f.Counters.Injected[PMSlowdown] != opened+1 {
+		t.Fatal("expired window not reopened")
+	}
+}
+
+func TestAllocStormOnlyNearWatermark(t *testing.T) {
+	clock := sim.NewClock()
+	cfg := Config{Seed: 5}
+	cfg.Rates[AllocStorm] = 1.0
+	cfg.StormWindow = 1 * sim.Millisecond
+	f := New(clock, cfg)
+
+	if f.AllocDenied(false) {
+		t.Fatal("storm struck a node with plenty of memory")
+	}
+	if !f.AllocDenied(true) {
+		t.Fatal("rate-1 storm did not strike near watermark")
+	}
+	// The storm persists inside its window and each denial is counted.
+	clock.Advance(500 * sim.Microsecond)
+	if !f.AllocDenied(true) {
+		t.Fatal("storm did not persist within its window")
+	}
+	if f.AllocDenied(false) {
+		t.Fatal("storm denial away from watermarks")
+	}
+	if got := f.Counters.Injected[AllocStorm]; got != 2 {
+		t.Fatalf("storm denials = %d, want 2", got)
+	}
+}
+
+func TestOverrunScalesInterval(t *testing.T) {
+	cfg := Config{Seed: 9, OverrunFactor: 2}
+	cfg.Rates[DaemonOverrun] = 1.0
+	f := New(sim.NewClock(), cfg)
+	if d := f.Overrun(10 * sim.Millisecond); d != 20*sim.Millisecond {
+		t.Fatalf("overrun = %v, want 20ms", d)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	c, err := ParseSpec("42,0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 42 || c.Rates[MigratePinned] != 0.01 || !c.Enabled() {
+		t.Fatalf("parsed %+v", c)
+	}
+	if c, err := ParseSpec(""); err != nil || c.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+	for _, bad := range []string{"42", "a,0.1", "1,x", "1,1.5", "1,-0.1", "1,0.1,2"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	var c Counters
+	c.Injected[MigratePinned] = 3
+	s := c.String()
+	if !strings.Contains(s, "migrate-pinned=3") || !strings.Contains(s, "daemon-overrun=0") {
+		t.Fatalf("report %q", s)
+	}
+}

@@ -268,6 +268,54 @@ func ClearPromote(pg *mem.Page) {
 	pg.SetFlags(mem.FlagActive)
 }
 
+// RequeuePromote restores an isolated page to promote state so Putback
+// returns it to the promote list instead of dropping it to active — the
+// graceful-degradation requeue for promotions that failed transiently
+// (pinned page, destination allocation denial). The referenced flag is set
+// so the page survives exactly one scan's (11)-decay check per requeue;
+// kpromoted re-requeues pages still in backoff each wakeup, so a page
+// awaiting retry stays promote-listed for arbitrarily long backoffs while
+// genuinely abandoned pages decay within one window. The page must be
+// isolated.
+func RequeuePromote(pg *mem.Page) {
+	if !pg.Flags.Has(mem.FlagIsolated) {
+		panic("lru: RequeuePromote on non-isolated page")
+	}
+	pg.ClearFlags(mem.FlagActive)
+	pg.SetFlags(mem.FlagPromote | mem.FlagReferenced)
+}
+
+// CheckConsistency walks every list of the vec and verifies each resident
+// page: its flags must select the list it sits on, it must be marked LRU
+// and not isolated, it must reference a live frame, and it must live on
+// this vec's node. It returns the number of frames covered by resident
+// pages (compound pages count all their frames), which machine-level
+// invariant checks reconcile against frame and PTE accounting.
+func (v *Vec) CheckConsistency() (frames int, err error) {
+	for k := Kind(0); k < NumKinds; k++ {
+		l := &v.lists[k]
+		for pg := l.Front(); pg != nil; pg = pg.Next() {
+			if want := kindFor(pg); want != k {
+				return frames, fmt.Errorf("lru: page flags select %v but page is on %v", want, k)
+			}
+			if !pg.Flags.Has(mem.FlagLRU) {
+				return frames, fmt.Errorf("lru: page on %v without FlagLRU", k)
+			}
+			if pg.Flags.Has(mem.FlagIsolated) {
+				return frames, fmt.Errorf("lru: isolated page on %v", k)
+			}
+			if pg.Node == mem.NoNode || pg.Frame == mem.NoFrame {
+				return frames, fmt.Errorf("lru: freed page still on %v", k)
+			}
+			if pg.Node != v.Node {
+				return frames, fmt.Errorf("lru: node %d page on node %d's %v list", pg.Node, v.Node, k)
+			}
+			frames += pg.Frames()
+		}
+	}
+	return frames, nil
+}
+
 // Deactivate applies Fig. 4 transition (9): an active page that has stayed
 // cold moves to the inactive list (unreferenced).
 func (v *Vec) Deactivate(pg *mem.Page) {

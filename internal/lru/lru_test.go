@@ -394,3 +394,66 @@ func TestPageConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRequeuePromoteRestoresPromoteState(t *testing.T) {
+	v := NewVec(0)
+	pg := anonPage()
+	pg.SetFlags(mem.FlagActive | mem.FlagPromote)
+	v.Add(pg)
+	v.Isolate(pg)
+	// A failed promotion first clears promote state (the drop-to-active
+	// path), then the retry decision reverses it.
+	ClearPromote(pg)
+	RequeuePromote(pg)
+	v.Putback(pg)
+	if got := state(v, pg); got != "anon_promote+ref" {
+		t.Fatalf("requeued page state = %q, want anon_promote+ref", got)
+	}
+	if _, err := v.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequeuePromoteNonIsolatedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	v := NewVec(0)
+	pg := anonPage()
+	v.Add(pg)
+	RequeuePromote(pg)
+}
+
+func TestCheckConsistencyCleanAndCorrupt(t *testing.T) {
+	v := NewVec(0)
+	pages := []*mem.Page{anonPage(), filePage(), anonPage()}
+	for _, pg := range pages {
+		v.Add(pg)
+	}
+	frames, err := v.CheckConsistency()
+	if err != nil || frames != len(pages) {
+		t.Fatalf("clean vec: frames=%d err=%v", frames, err)
+	}
+
+	// Flags disagreeing with list membership must be reported.
+	pages[0].SetFlags(mem.FlagActive)
+	if _, err := v.CheckConsistency(); err == nil {
+		t.Fatal("kind mismatch not detected")
+	}
+	pages[0].ClearFlags(mem.FlagActive)
+
+	// An isolated page riding a list must be reported.
+	pages[1].SetFlags(mem.FlagIsolated)
+	if _, err := v.CheckConsistency(); err == nil {
+		t.Fatal("isolated page on list not detected")
+	}
+	pages[1].ClearFlags(mem.FlagIsolated)
+
+	// A page from another node must be reported.
+	pages[2].Node = 3
+	if _, err := v.CheckConsistency(); err == nil {
+		t.Fatal("foreign-node page not detected")
+	}
+}

@@ -9,6 +9,7 @@ package machine
 import (
 	"fmt"
 
+	"multiclock/internal/fault"
 	"multiclock/internal/lru"
 	"multiclock/internal/mem"
 	"multiclock/internal/pagetable"
@@ -31,6 +32,12 @@ type Config struct {
 	// memory accesses (request parsing, hashing, ...). Workloads may charge
 	// more via Compute.
 	OpCost sim.Duration
+
+	// Faults configures deterministic fault injection (chaos testing):
+	// transient migration failures, PM media-slowdown windows, daemon
+	// overruns and allocation storms. The zero value (all rates zero)
+	// builds no injector and leaves every path exactly as without it.
+	Faults fault.Config
 
 	// CPUCachePages models the CPU cache hierarchy as an LRU set of
 	// recently-touched pages: accesses to them cost CacheHit instead of
@@ -79,6 +86,10 @@ type Machine struct {
 	Policy Policy
 	RNG    *sim.RNG
 
+	// Faults is the machine's fault injector, or nil when injection is
+	// disabled. mem.System shares the same injector.
+	Faults *fault.Injector
+
 	Observer Observer
 
 	spaces []*pagetable.AddressSpace
@@ -109,6 +120,10 @@ func New(cfg Config, p Policy) *Machine {
 		cfg:    cfg,
 	}
 	m.Mem = mem.NewSystem(m.Clock, cfg.Mem)
+	if cfg.Faults.Enabled() {
+		m.Faults = fault.New(m.Clock, cfg.Faults)
+		m.Mem.Faults = m.Faults
+	}
 	m.Vecs = make([]*lru.Vec, len(m.Mem.Nodes))
 	for i := range m.Vecs {
 		m.Vecs[i] = lru.NewVec(mem.NodeID(i))
@@ -231,6 +246,12 @@ func (m *Machine) AccessN(as *pagetable.AddressSpace, vpn pagetable.VPN, write b
 			m.Mem.Counters.Reads[tier] += int64(lines)
 		}
 		lat += sim.Duration(lines) * m.Policy.Access(pg, write)
+		if m.Faults != nil {
+			// Injected PM media-slowdown window: accesses inside it pay a
+			// multiple of the tier's base latency (Optane tail spikes).
+			lat += sim.Duration(lines) * m.Faults.AccessDelay(
+				tier == mem.TierPM, m.Mem.Lat.AccessCost(tier, write))
+		}
 	}
 	if m.pendingTax > 0 {
 		lat += m.pendingTax
@@ -499,6 +520,56 @@ func (m *Machine) SwapOut(pg *mem.Page) {
 	}
 	m.Policy.PageFreed(pg)
 	m.Mem.Free(pg)
+}
+
+// FinishDaemonPass applies injected daemon-overrun faults to the daemon
+// whose body is currently running: when the injector decides this pass
+// exceeded its budget, the next wakeup is postponed by the overrun and the
+// extra time is charged as daemon interference. Policies call it at the
+// end of each periodic daemon body; with injection disabled it is free.
+func (m *Machine) FinishDaemonPass(d *sim.Daemon) {
+	if m.Faults == nil {
+		return
+	}
+	if extra := m.Faults.Overrun(d.Interval); extra > 0 {
+		d.Postpone(extra)
+		m.ChargeTax(extra)
+	}
+}
+
+// CheckInvariants verifies the machine's global consistency at a quiescent
+// point (between events, when no page is legitimately isolated in a daemon
+// pass): the memory system's conservation laws hold, every LRU-resident
+// page's flags agree with its list and node, no isolated or freed page
+// rides a list, and frames in use reconcile with both LRU population and
+// installed PTEs. Chaos and fuzz tests run it after injected faults.
+func (m *Machine) CheckInvariants() error {
+	if err := m.Mem.CheckInvariants(); err != nil {
+		return err
+	}
+	used := 0
+	for _, n := range m.Mem.Nodes {
+		used += n.UsedFrames()
+	}
+	onLists := 0
+	for _, vec := range m.Vecs {
+		frames, err := vec.CheckConsistency()
+		if err != nil {
+			return fmt.Errorf("machine: node %d: %w", vec.Node, err)
+		}
+		onLists += frames
+	}
+	if onLists != used {
+		return fmt.Errorf("machine: LRU population %d frames != %d frames used (leaked isolated page?)", onLists, used)
+	}
+	mapped := 0
+	for _, as := range m.spaces {
+		mapped += as.Mapped()
+	}
+	if mapped != used {
+		return fmt.Errorf("machine: PTEs mapped %d != %d frames used (leak or double-map)", mapped, used)
+	}
+	return nil
 }
 
 // Elapsed returns total virtual time.

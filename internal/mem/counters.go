@@ -34,6 +34,11 @@ type Counters struct {
 	SwapOuts int64
 	SwapIns  int64
 	OOMKills int64
+	// EmergencyAllocs counts allocations that succeeded only by dipping
+	// into a node's emergency reserve (free frames at or below the min
+	// watermark) — the §III-C pressure-relief path that injected
+	// allocation storms exercise.
+	EmergencyAllocs int64
 	// HugeSplits counts compound pages broken into base pages (reclaim
 	// splitting).
 	HugeSplits int64

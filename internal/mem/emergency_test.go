@@ -1,0 +1,136 @@
+package mem
+
+// Emergency-reserve, OOM-adjacent accounting and injected-fault coverage
+// for the allocator and migration paths.
+
+import (
+	"testing"
+
+	"multiclock/internal/fault"
+)
+
+func TestEmergencyReserveAccounting(t *testing.T) {
+	s := testSystem(32, 32)
+	n := s.Nodes[0]
+
+	// Ordinary allocations stop at the min watermark without ever being
+	// counted as emergency dips.
+	for s.AllocOn(0, false) != nil {
+	}
+	if free := n.FreeFrames(); free != n.WM.Min {
+		t.Fatalf("ordinary allocation drained to %d free, want min watermark %d", free, n.WM.Min)
+	}
+	if s.Counters.EmergencyAllocs != 0 {
+		t.Fatalf("EmergencyAllocs = %d before any emergency allocation", s.Counters.EmergencyAllocs)
+	}
+
+	// Every allocation from here on dips into the reserve and is counted.
+	dips := int64(0)
+	for s.AllocOn(0, true) != nil {
+		dips++
+	}
+	if dips != int64(n.WM.Min) {
+		t.Fatalf("emergency path yielded %d frames, want the full reserve %d", dips, n.WM.Min)
+	}
+	if s.Counters.EmergencyAllocs != dips {
+		t.Fatalf("EmergencyAllocs = %d, want %d", s.Counters.EmergencyAllocs, dips)
+	}
+	if n.FreeFrames() != 0 {
+		t.Fatalf("reserve not fully drained: %d free", n.FreeFrames())
+	}
+
+	// An emergency-capable allocation on a healthy node is not a dip.
+	if pg := s.AllocOn(1, true); pg == nil {
+		t.Fatal("healthy node refused allocation")
+	}
+	if s.Counters.EmergencyAllocs != dips {
+		t.Fatalf("healthy-node allocation counted as dip: %d", s.Counters.EmergencyAllocs)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariantsDetectsCounterDrift(t *testing.T) {
+	s := testSystem(16, 16)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("fresh system inconsistent: %v", err)
+	}
+	if pg := s.AllocOn(0, false); pg == nil {
+		t.Fatal("alloc failed")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("after alloc: %v", err)
+	}
+	s.Counters.Allocs[TierDRAM]++ // simulate lost accounting
+	if err := s.CheckInvariants(); err == nil {
+		t.Fatal("counter drift not detected")
+	}
+}
+
+// TestInjectedMigrationFaultsLeavePageIntact: pinned-page and
+// target-denied injections must fail the migration exactly like a natural
+// destination-full failure — source frame kept, descriptor untouched,
+// MigrateFails counted — with the page still owned by the caller.
+func TestInjectedMigrationFaultsLeavePageIntact(t *testing.T) {
+	for _, kind := range []fault.Kind{fault.MigratePinned, fault.MigrateTargetDenied} {
+		s := testSystem(16, 16)
+		fcfg := fault.Config{Seed: 5}
+		fcfg.Rates[kind] = 1.0
+		s.Faults = fault.New(s.Clock(), fcfg)
+
+		pg := s.AllocOn(0, false)
+		pg.SetFlags(FlagIsolated)
+		node, frame := pg.Node, pg.Frame
+		res := s.Migrate(pg, 1)
+		if res.OK {
+			t.Fatalf("%v: migration succeeded at rate 1.0", kind)
+		}
+		if pg.Node != node || pg.Frame != frame {
+			t.Fatalf("%v: failed migration moved the page: %d/%d -> %d/%d",
+				kind, node, frame, pg.Node, pg.Frame)
+		}
+		if !pg.Flags.Has(FlagIsolated) {
+			t.Fatalf("%v: page no longer isolated after failed attempt", kind)
+		}
+		if s.Counters.MigrateFails != 1 {
+			t.Fatalf("%v: MigrateFails = %d, want 1", kind, s.Counters.MigrateFails)
+		}
+		if got := s.Faults.Counters.Injected[kind]; got != 1 {
+			t.Fatalf("%v: injector counted %d", kind, got)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+// TestInjectedAllocStormOnlyNearWatermark: storms must not deny
+// allocations on healthy nodes, and must deny them (and count each
+// denial) once the node is near its low watermark.
+func TestInjectedAllocStormOnlyNearWatermark(t *testing.T) {
+	s := testSystem(64, 64)
+	fcfg := fault.Config{Seed: 11}
+	fcfg.Rates[fault.AllocStorm] = 1.0
+	s.Faults = fault.New(s.Clock(), fcfg)
+	n := s.Nodes[0]
+
+	for n.FreeFrames() >= n.WM.Low+1 {
+		if s.AllocOn(0, false) == nil {
+			t.Fatalf("storm denied a healthy allocation at %d free (low=%d)", n.FreeFrames(), n.WM.Low)
+		}
+	}
+	if s.AllocOn(0, false) != nil {
+		t.Fatal("near-watermark allocation survived a rate-1.0 storm")
+	}
+	if s.Faults.Counters.Injected[fault.AllocStorm] == 0 {
+		t.Fatal("storm denial not counted")
+	}
+	// The emergency path ignores storms entirely.
+	if s.AllocOn(0, true) == nil {
+		t.Fatal("storm denied an emergency allocation")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

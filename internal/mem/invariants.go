@@ -1,0 +1,37 @@
+package mem
+
+import "fmt"
+
+// CheckInvariants verifies the memory system's conservation laws: every
+// node's free-frame count stays within [0, Frames] and agrees with the
+// buddy allocator's per-order free-block inventory, and the alloc/free
+// counters conserve (allocations minus frees equals frames in use). Chaos
+// and fuzz tests call it after injected faults; machine.CheckInvariants
+// layers LRU and page-table consistency on top.
+func (s *System) CheckInvariants() error {
+	used := 0
+	for _, n := range s.Nodes {
+		free := n.FreeFrames()
+		if free < 0 || free > n.Frames {
+			return fmt.Errorf("mem: node %d free frames out of range: %d/%d", n.ID, free, n.Frames)
+		}
+		blocks := n.FreeBlocks()
+		sum := 0
+		for order, count := range blocks {
+			sum += count << order
+		}
+		if sum != free {
+			return fmt.Errorf("mem: node %d buddy inventory %d frames != free count %d", n.ID, sum, free)
+		}
+		used += n.UsedFrames()
+	}
+	var allocs, frees int64
+	for t := Tier(0); t < NumTiers; t++ {
+		allocs += s.Counters.Allocs[t]
+		frees += s.Counters.Frees[t]
+	}
+	if allocs-frees != int64(used) {
+		return fmt.Errorf("mem: alloc/free accounting: %d - %d != %d frames used", allocs, frees, used)
+	}
+	return nil
+}

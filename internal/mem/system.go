@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"multiclock/internal/fault"
 	"multiclock/internal/sim"
 )
 
@@ -35,6 +36,11 @@ type System struct {
 	Nodes    []*Node
 	Lat      LatencyModel
 	Counters Counters
+
+	// Faults optionally injects deterministic hardware/kernel faults into
+	// migration and allocation. Nil (the default) injects nothing and adds
+	// no work to any path.
+	Faults *fault.Injector
 
 	// tiers caches node IDs per tier in ID order for allocation fallback.
 	tiers [NumTiers][]NodeID
@@ -101,12 +107,26 @@ func (s *System) AllocOn(id NodeID, emergency bool) *Page {
 // THP.
 func (s *System) AllocBlockOn(id NodeID, order int, emergency bool) *Page {
 	n := s.Nodes[id]
-	if !emergency && n.FreeFrames() <= n.WM.Min+(1<<order)-1 {
-		return nil
+	if !emergency {
+		if n.FreeFrames() <= n.WM.Min+(1<<order)-1 {
+			return nil
+		}
+		// An injected allocation storm denies ordinary allocations on
+		// nodes already near their watermarks, forcing the caller onto
+		// the tier-fallback (and ultimately emergency-reserve) path.
+		if s.Faults.AllocDenied(n.FreeFrames() < n.WM.Low+(1<<order)) {
+			return nil
+		}
 	}
+	dipped := emergency && n.FreeFrames() <= n.WM.Min+(1<<order)-1
 	f := n.alloc.Alloc(order)
 	if f == NoFrame {
 		return nil
+	}
+	if dipped {
+		// The allocation succeeded only because the emergency reserve was
+		// opened: account the dip (watermark health telemetry).
+		s.Counters.EmergencyAllocs++
 	}
 	s.Counters.Allocs[n.Tier] += 1 << order
 	return &Page{
@@ -188,6 +208,15 @@ func (s *System) Migrate(pg *Page, dst NodeID) MigrationResult {
 	src := pg.Node
 	if src == dst {
 		return MigrationResult{OK: true, From: src, To: dst}
+	}
+	// Injected transient faults: the page is pinned for the duration of
+	// this attempt, or the destination node denies the frame allocation
+	// despite free memory. Both leave the page intact on its source frame
+	// (still isolated, owned by the caller) exactly like a natural
+	// destination-full failure.
+	if s.Faults.MigrationPinned() || s.Faults.TargetDenied() {
+		s.Counters.MigrateFails++
+		return MigrationResult{From: src, To: dst}
 	}
 	dn := s.Nodes[dst]
 	f := dn.alloc.Alloc(int(pg.Order))

@@ -86,8 +86,10 @@ func (a *AMP) Name() string { return a.cfg.Selector.String() }
 // Attach starts the periodic migration daemon.
 func (a *AMP) Attach(m *machine.Machine) {
 	a.Base.Attach(m)
-	d := m.Clock.StartDaemon("amp", a.cfg.ScanInterval, func(now sim.Time) {
+	var d *sim.Daemon
+	d = m.Clock.StartDaemon("amp", a.cfg.ScanInterval, func(now sim.Time) {
 		a.rebalance()
+		m.FinishDaemonPass(d)
 	})
 	a.daemons = append(a.daemons, d)
 }

@@ -108,8 +108,10 @@ func (at *AutoTiering) Name() string { return at.cfg.Mode.String() }
 // Attach starts the PTE-poisoning scanner.
 func (at *AutoTiering) Attach(m *machine.Machine) {
 	at.Base.Attach(m)
-	d := m.Clock.StartDaemon("at-scan", at.cfg.ScanInterval, func(now sim.Time) {
+	var d *sim.Daemon
+	d = m.Clock.StartDaemon("at-scan", at.cfg.ScanInterval, func(now sim.Time) {
 		at.scan(now)
+		m.FinishDaemonPass(d)
 	})
 	at.daemons = append(at.daemons, d)
 }

@@ -62,8 +62,10 @@ func (nb *Nimble) Attach(m *machine.Machine) {
 	nb.Base.Attach(m)
 	for _, n := range m.Mem.Nodes {
 		node := n.ID
-		d := m.Clock.StartDaemon("nimble-scan", nb.cfg.ScanInterval, func(now sim.Time) {
+		var d *sim.Daemon
+		d = m.Clock.StartDaemon("nimble-scan", nb.cfg.ScanInterval, func(now sim.Time) {
 			nb.scan(node)
+			m.FinishDaemonPass(d)
 		})
 		nb.daemons = append(nb.daemons, d)
 	}

@@ -100,8 +100,10 @@ func (th *Thermostat) Name() string { return "thermostat" }
 // Attach starts the sampling daemon.
 func (th *Thermostat) Attach(m *machine.Machine) {
 	th.Base.Attach(m)
-	d := m.Clock.StartDaemon("thermostat", th.cfg.ScanInterval, func(now sim.Time) {
+	var d *sim.Daemon
+	d = m.Clock.StartDaemon("thermostat", th.cfg.ScanInterval, func(now sim.Time) {
 		th.period()
+		m.FinishDaemonPass(d)
 	})
 	th.daemons = append(th.daemons, d)
 }

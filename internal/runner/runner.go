@@ -32,26 +32,44 @@ func Workers(requested, n int) int {
 	return w
 }
 
+// panicError wraps a worker panic so every runner entry point surfaces the
+// same shape: which task blew up (index, and name when there is one) plus
+// the original panic value.
+func panicError(i int, name string, r any) error {
+	if name != "" {
+		return fmt.Errorf("runner: task %d (%s) panicked: %v", i, name, r)
+	}
+	return fmt.Errorf("runner: task %d panicked: %v", i, r)
+}
+
 // Map runs fn over every item on up to workers goroutines and returns the
 // results in input order. fn must be self-contained: each call builds and
 // drives its own simulated machine (or otherwise touches no shared state).
 // With workers ≤ 1 the calls happen inline on the caller's goroutine, in
 // order, so sequential behavior is exactly the pre-pool code path. A panic
-// in any call is re-raised on the caller's goroutine after the pool
-// drains, preserving panic semantics across the fan-out.
+// in any call is re-raised on the caller's goroutine — sequential or not,
+// after the pool drains — wrapped as an error naming the task index.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
 	n := len(items)
 	if n == 0 {
 		return nil
 	}
 	out := make([]R, n)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panic(panicError(i, "", r))
+			}
+		}()
+		out[i] = fn(i, items[i])
+	}
 	w := Workers(workers, n)
 	if workers > 0 && workers <= 1 {
 		w = 1
 	}
 	if w == 1 {
-		for i, item := range items {
-			out[i] = fn(i, item)
+		for i := range items {
+			call(i)
 		}
 		return out
 	}
@@ -59,7 +77,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	var panicOnce sync.Once
-	var panicked any
+	var panicked error
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func() {
@@ -68,10 +86,14 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
-							panicOnce.Do(func() { panicked = r })
+							err, ok := r.(error)
+							if !ok {
+								err = panicError(i, "", r)
+							}
+							panicOnce.Do(func() { panicked = err })
 						}
 					}()
-					out[i] = fn(i, items[i])
+					call(i)
 				}()
 			}
 		}()
@@ -142,7 +164,7 @@ func Stream[R any](workers int, progress io.Writer, tasks []Task[R], emit func(i
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					res.Err = fmt.Errorf("panic: %v", r)
+					res.Err = panicError(i, t.Name, r)
 				}
 			}()
 			res.Value, res.Err = t.Fn()

@@ -144,3 +144,49 @@ func TestStreamEmitsInSubmissionOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestMapPanicNamesTaskIndex(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic not propagated", workers)
+				}
+				err, ok := r.(error)
+				if !ok {
+					t.Fatalf("workers=%d: panic value %T is not a wrapped error: %v", workers, r, r)
+				}
+				if !strings.Contains(err.Error(), "task 2") || !strings.Contains(err.Error(), "boom") {
+					t.Fatalf("workers=%d: error %q does not name task 2", workers, err)
+				}
+			}()
+			Map(workers, []int{0, 1, 2, 3}, func(i, v int) int {
+				if v == 2 {
+					panic("boom")
+				}
+				return v
+			})
+		}()
+	}
+}
+
+func TestStreamPanicErrorNamesTask(t *testing.T) {
+	tasks := []Task[int]{
+		{Name: "fine", Fn: func() (int, error) { return 1, nil }},
+		{Name: "bad", Fn: func() (int, error) { panic("kaboom") }},
+	}
+	for _, workers := range []int{1, 2} {
+		res := Run(workers, nil, tasks)
+		if res[1].Err == nil {
+			t.Fatalf("workers=%d: panic not captured", workers)
+		}
+		msg := res[1].Err.Error()
+		if !strings.Contains(msg, "task 1") || !strings.Contains(msg, "bad") || !strings.Contains(msg, "kaboom") {
+			t.Fatalf("workers=%d: error %q does not identify the panicking task", workers, msg)
+		}
+		if res[0].Err != nil || res[0].Value != 1 {
+			t.Fatalf("workers=%d: sibling task disturbed: %+v", workers, res[0])
+		}
+	}
+}

@@ -225,10 +225,11 @@ type Daemon struct {
 	Interval Duration
 	Body     func(now Time)
 
-	clock   *Clock
-	ev      *Event
-	stopped bool
-	Runs    int // number of completed wakeups
+	clock    *Clock
+	ev       *Event
+	stopped  bool
+	postpone Duration // extra delay before the next wakeup (consumed by arm)
+	Runs     int      // number of completed wakeups
 }
 
 // StartDaemon schedules a periodic daemon on the clock, first firing one
@@ -244,7 +245,9 @@ func (c *Clock) StartDaemon(name string, interval Duration, body func(now Time))
 }
 
 func (d *Daemon) arm() {
-	d.ev = d.clock.Schedule(d.Interval, func() {
+	delay := d.Interval + d.postpone
+	d.postpone = 0
+	d.ev = d.clock.Schedule(delay, func() {
 		if d.stopped {
 			return
 		}
@@ -263,6 +266,17 @@ func (d *Daemon) Stop() {
 	}
 	d.stopped = true
 	d.ev.Cancel()
+}
+
+// Postpone delays the daemon's next wakeup by extra beyond its interval,
+// modelling a pass that overran its scheduling budget. It accumulates and
+// is consumed when the next wakeup is armed, so it only has effect when
+// called from within the daemon's own body (before re-arming).
+func (d *Daemon) Postpone(extra Duration) {
+	if extra < 0 {
+		panic("sim: negative Postpone")
+	}
+	d.postpone += extra
 }
 
 // SetInterval changes the period and reschedules the pending wakeup so the

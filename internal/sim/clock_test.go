@@ -209,6 +209,40 @@ func TestDaemonIntervalChange(t *testing.T) {
 	}
 }
 
+func TestDaemonPostpone(t *testing.T) {
+	c := NewClock()
+	var wakeups []Time
+	var d *Daemon
+	d = c.StartDaemon("d", 100, func(now Time) {
+		wakeups = append(wakeups, now)
+		if len(wakeups) == 1 {
+			// First pass overruns by 150: next wakeup lands at 350, then
+			// the normal cadence resumes.
+			d.Postpone(150)
+		}
+	})
+	c.Advance(600)
+	want := []Time{100, 350, 450, 550}
+	if len(wakeups) != len(want) {
+		t.Fatalf("wakeups = %v, want %v", wakeups, want)
+	}
+	for i := range want {
+		if wakeups[i] != want[i] {
+			t.Fatalf("wakeups = %v, want %v", wakeups, want)
+		}
+	}
+}
+
+func TestDaemonPostponeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Postpone did not panic")
+		}
+	}()
+	c := NewClock()
+	c.StartDaemon("d", 100, func(Time) {}).Postpone(-1)
+}
+
 func TestDaemonZeroIntervalPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

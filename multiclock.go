@@ -25,6 +25,7 @@ import (
 
 	"multiclock/internal/bench"
 	"multiclock/internal/core"
+	"multiclock/internal/fault"
 	"multiclock/internal/graph"
 	"multiclock/internal/kvstore"
 	"multiclock/internal/machine"
@@ -106,7 +107,20 @@ type Config struct {
 	// MultiClock allows overriding the full policy configuration when
 	// Policy == PolicyMultiClock; nil uses the paper defaults.
 	MultiClock *core.Config
+
+	// Chaos configures deterministic fault injection (pinned-page and
+	// target-denied migration failures, allocation storms, PM slowdown
+	// windows, daemon overruns). The zero value injects nothing and leaves
+	// the simulation bit-for-bit identical to a fault-free build.
+	Chaos FaultConfig
 }
+
+// FaultConfig describes a fault-injection campaign (re-export).
+type FaultConfig = fault.Config
+
+// ParseFaultSpec parses the CLI fault specification "seed,rate" into a
+// uniform-rate FaultConfig; the empty string disables injection.
+func ParseFaultSpec(s string) (FaultConfig, error) { return fault.ParseSpec(s) }
 
 // System is a running simulated machine plus its tiering policy.
 type System struct {
@@ -158,6 +172,7 @@ func NewSystem(cfg Config) *System {
 	if cfg.OpCost > 0 {
 		mcfg.OpCost = cfg.OpCost
 	}
+	mcfg.Faults = cfg.Chaos
 	return &System{m: machine.New(mcfg, pol), pol: pol}
 }
 
@@ -176,6 +191,18 @@ func (s *System) Counters() *mem.Counters { return &s.m.Mem.Counters }
 
 // DRAMHitRatio reports the fraction of memory accesses served by DRAM.
 func (s *System) DRAMHitRatio() float64 { return s.m.Mem.Counters.DRAMHitRatio() }
+
+// CheckInvariants verifies the machine's conservation laws (frame
+// accounting, LRU membership, page-table mapping); nil when consistent.
+func (s *System) CheckInvariants() error { return s.m.CheckInvariants() }
+
+// FaultReport summarizes injected faults, or "" when injection is off.
+func (s *System) FaultReport() string {
+	if s.m.Faults == nil {
+		return ""
+	}
+	return s.m.Faults.Counters.String()
+}
 
 // Stop halts the policy's daemons (for long-lived processes building many
 // systems).

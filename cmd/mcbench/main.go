@@ -24,6 +24,7 @@ import (
 
 	"multiclock/internal/bench"
 	"multiclock/internal/fault"
+	"multiclock/internal/metrics"
 	"multiclock/internal/runner"
 )
 
@@ -35,6 +36,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	chaosSpec := flag.String("chaos", "", "deterministic fault injection as seed,rate (e.g. 42,0.01); empty disables")
 	deadline := flag.Duration("deadline", 0, "abort with a non-zero exit if wall-clock runtime exceeds this (0 = no limit)")
+	metricsOut := flag.String("metrics", "", "write a deterministic metrics JSON export for the instrumented experiments (figs. 5, 7-10) to this file")
+	traceEvents := flag.Int("trace-events", 0, "structured trace ring capacity per machine in the metrics export (0 = no event trace)")
 	flag.Parse()
 
 	chaos, err := fault.ParseSpec(*chaosSpec)
@@ -75,6 +78,11 @@ func main() {
 		workers = -1 // GOMAXPROCS, resolved by the runner
 	}
 	opt := bench.Options{Quick: *quick, Seed: *seed, Parallel: workers, Chaos: chaos}
+	var pool *metrics.Pool
+	if *metricsOut != "" {
+		pool = metrics.NewPool(*traceEvents)
+		opt.Metrics = pool
+	}
 	names := []string{*exp}
 	if *exp == "all" {
 		names = append(bench.Names(), "table2")
@@ -104,6 +112,17 @@ func main() {
 		}
 		fmt.Printf("==== %s ====\n%s\n", r.Name, r.Value)
 	})
+	if pool != nil {
+		data, err := pool.ExportJSON()
+		if err == nil {
+			err = os.WriteFile(*metricsOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %d run(s) written to %s\n", pool.Len(), *metricsOut)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "mcbench: %d of %d experiments failed\n", failed, len(tasks))
 		os.Exit(1)

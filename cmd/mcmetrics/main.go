@@ -1,0 +1,163 @@
+// mcmetrics inspects the deterministic metrics exports that mcsim -metrics
+// and mcbench -metrics write: it validates a file against the schema and
+// renders a human-readable summary (histogram quantiles, counters, trace
+// tail) or a flat CSV for plotting.
+//
+// Usage:
+//
+//	mcmetrics out.json                   # validate + summarize
+//	mcmetrics -validate out.json         # schema check only (CI smoke)
+//	mcmetrics -csv out.json              # histogram buckets as CSV
+//	mcmetrics -run fig10/multiclock@10ms out.json   # one run only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multiclock/internal/metrics"
+	"multiclock/internal/sim"
+)
+
+func main() {
+	validateOnly := flag.Bool("validate", false, "schema-check the export and exit (0 = valid)")
+	csv := flag.Bool("csv", false, "print histogram buckets as CSV instead of the summary")
+	runFilter := flag.String("run", "", "restrict output to the run with this label")
+	events := flag.Int("events", 10, "trace events to show per run in the summary")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcmetrics [-validate|-csv] [-run label] <export.json>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcmetrics: %v\n", err)
+		os.Exit(1)
+	}
+	ex, err := metrics.ReadExport(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcmetrics: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+
+	runs := ex.Runs
+	if *runFilter != "" {
+		runs = nil
+		for _, r := range ex.Runs {
+			if r.Label == *runFilter {
+				runs = append(runs, r)
+			}
+		}
+		if len(runs) == 0 {
+			fmt.Fprintf(os.Stderr, "mcmetrics: no run labeled %q (have %s)\n", *runFilter, labels(ex.Runs))
+			os.Exit(1)
+		}
+	}
+
+	if *validateOnly {
+		fmt.Printf("%s: valid (version %d, %d runs)\n", path, ex.Version, len(ex.Runs))
+		return
+	}
+	if *csv {
+		fmt.Print(metrics.ExportCSV(runs...))
+		return
+	}
+	for i, r := range runs {
+		if i > 0 {
+			fmt.Println()
+		}
+		summarize(r, *events)
+	}
+}
+
+func labels(runs []metrics.RunExport) string {
+	out := make([]string, len(runs))
+	for i, r := range runs {
+		out[i] = r.Label
+	}
+	return strings.Join(out, ", ")
+}
+
+func summarize(r metrics.RunExport, maxEvents int) {
+	fmt.Printf("== %s  (virtual time %v)\n", r.Label, sim.Duration(r.Now))
+	if len(r.Counters) > 0 {
+		fmt.Println("counters:")
+		for _, c := range r.Counters {
+			fmt.Printf("  %-28s %12d\n", c.Name, c.Value)
+		}
+	}
+	if len(r.Gauges) > 0 {
+		fmt.Println("gauges:")
+		for _, g := range r.Gauges {
+			fmt.Printf("  %-28s last=%d max=%d\n", g.Name, g.Last, g.Max)
+		}
+	}
+	if len(r.Histograms) > 0 {
+		fmt.Println("histograms:")
+		fmt.Printf("  %-28s %10s %14s %12s %12s %12s\n", "name", "n", "mean", "~p50", "~p99", "max")
+		for _, h := range r.Histograms {
+			mean := int64(0)
+			if h.N > 0 {
+				mean = h.Sum / h.N
+			}
+			fmt.Printf("  %-28s %10d %14d %12d %12d %12d\n",
+				h.Name, h.N, mean, quantile(h, 0.5), quantile(h, 0.99), h.Max)
+		}
+		fmt.Println("  (quantiles are log2-bucket upper bounds: exact within 2x)")
+	}
+	if len(r.Vmstat) > 0 {
+		fmt.Println("vmstat:")
+		for _, c := range r.Vmstat {
+			fmt.Printf("  %-28s %12d\n", c.Name, c.Value)
+		}
+	}
+	if t := r.Trace; t != nil {
+		fmt.Printf("trace: %d events (capacity %d, %d dropped)\n", len(t.Events), t.Capacity, t.Dropped)
+		start := len(t.Events) - maxEvents
+		if start < 0 {
+			start = 0
+		}
+		if start > 0 {
+			fmt.Printf("  ... %d earlier events\n", start)
+		}
+		for _, ev := range t.Events[start:] {
+			fmt.Printf("  %14s %-10s", sim.Duration(ev.At).String(), ev.Kind)
+			switch ev.Kind {
+			case "promote", "demote":
+				fmt.Printf(" node %d -> %d, %d page(s)", ev.From, ev.To, ev.Pages)
+			case "scan":
+				fmt.Printf(" %s work=%v", ev.Name, sim.Duration(ev.Work))
+			case "fault", "hint-fault":
+				fmt.Printf(" va=%#x", ev.VA)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// quantile re-estimates a quantile from exported buckets (the in-memory
+// Histogram.Quantile over the wire format).
+func quantile(h metrics.HistExport, q float64) int64 {
+	if h.N == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.N))
+	if rank >= h.N {
+		rank = h.N - 1
+	}
+	var seen int64
+	for _, b := range h.Buckets {
+		seen += b.Count
+		if seen > rank {
+			if b.LE > h.Max {
+				return h.Max
+			}
+			return b.LE
+		}
+	}
+	return h.Max
+}

@@ -8,6 +8,7 @@
 //	mcsim -policy static -gapbs PR -vertices 40000
 //	mcsim -policy static,nimble,multiclock -workload D -parallel 0
 //	mcsim -policy multiclock -workload A -chaos 42,0.01
+//	mcsim -policy multiclock -workload A -metrics out.json -trace-events 128
 //
 // With a comma-separated policy list every policy gets its own machine;
 // -parallel N fans them out across goroutines. Each machine is an
@@ -30,22 +31,25 @@ import (
 
 // config carries the flag values one policy run needs.
 type config struct {
-	policy     string
-	workload   string
-	sequence   bool
-	gapbs      string
-	records    int64
-	ops        int64
-	vertices   int
-	degree     int
-	record     string
-	replay     string
-	replayFast bool
-	dram       int
-	pm         int
-	scan       multiclock.Duration
-	seed       uint64
-	chaos      multiclock.FaultConfig
+	policy      string
+	workload    string
+	sequence    bool
+	gapbs       string
+	records     int64
+	ops         int64
+	vertices    int
+	degree      int
+	record      string
+	replay      string
+	replayFast  bool
+	dram        int
+	pm          int
+	scan        multiclock.Duration
+	seed        uint64
+	chaos       multiclock.FaultConfig
+	metrics     bool
+	traceEvents int
+	label       string
 }
 
 func main() {
@@ -66,6 +70,8 @@ func main() {
 	parallel := flag.Int("parallel", 1, "max policies simulated at once (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	chaosSpec := flag.String("chaos", "", "deterministic fault injection as seed,rate (e.g. 42,0.01); empty disables")
+	metricsOut := flag.String("metrics", "", "write a deterministic metrics JSON export to this file")
+	traceEvents := flag.Int("trace-events", 0, "structured trace ring capacity in the metrics export (0 = no event trace)")
 	flag.Parse()
 
 	chaos, err := multiclock.ParseFaultSpec(*chaosSpec)
@@ -80,9 +86,15 @@ func main() {
 	}
 	policies := make([]string, 0, 4)
 	for _, p := range strings.Split(*pol, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			policies = append(policies, p)
+		if p = strings.TrimSpace(p); p == "" {
+			continue
 		}
+		parsed, err := multiclock.ParsePolicy(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+			os.Exit(2)
+		}
+		policies = append(policies, string(parsed))
 	}
 	if len(policies) == 0 {
 		fmt.Fprintln(os.Stderr, "mcsim: -policy needs at least one policy name")
@@ -97,17 +109,30 @@ func main() {
 	if workers <= 0 {
 		workers = -1 // GOMAXPROCS, resolved by the runner
 	}
+	// Each policy's metrics snapshot lands in its own slot, so the export
+	// is identical at every -parallel setting. Labels disambiguate repeated
+	// policy names with the list position.
+	seen := map[string]int{}
+	metricsRuns := make([]*multiclock.MetricsRun, len(policies))
 	tasks := make([]runner.Task[string], 0, len(policies))
-	for _, p := range policies {
+	for i, p := range policies {
+		label := p
+		if n := seen[p]; n > 0 {
+			label = fmt.Sprintf("%s#%d", p, n)
+		}
+		seen[p]++
 		cfg := config{
 			policy: p, workload: *workload, sequence: *sequence, gapbs: *gapbs,
 			records: *records, ops: *ops, vertices: *vertices, degree: *degree,
 			record: *record, replay: *replay, replayFast: *replayFast,
 			dram: *dram, pm: *pm, scan: scan, seed: *seed, chaos: chaos,
+			metrics: *metricsOut != "", traceEvents: *traceEvents, label: label,
 		}
+		slot := &metricsRuns[i]
 		tasks = append(tasks, runner.Task[string]{Name: p, Fn: func() (string, error) {
 			var b strings.Builder
-			err := runOne(&b, cfg)
+			run, err := runOne(&b, cfg)
+			*slot = run
 			return b.String(), err
 		}})
 	}
@@ -127,14 +152,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mcsim: %s: %v\n", r.Name, r.Err)
 		}
 	})
+	if *metricsOut != "" {
+		runs := make([]multiclock.MetricsRun, 0, len(metricsRuns))
+		for _, r := range metricsRuns {
+			if r != nil {
+				runs = append(runs, *r)
+			}
+		}
+		data, err := multiclock.ExportMetricsJSON(runs...)
+		if err == nil {
+			err = os.WriteFile(*metricsOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcsim: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %d run(s) written to %s\n", len(runs), *metricsOut)
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
 }
 
-// runOne builds one system, drives it per the config, and writes the
-// human-readable outcome to w.
-func runOne(w io.Writer, cfg config) error {
+// runOne builds one system, drives it per the config, writes the
+// human-readable outcome to w, and returns the metrics snapshot when
+// collection was requested.
+func runOne(w io.Writer, cfg config) (*multiclock.MetricsRun, error) {
 	sys := multiclock.NewSystem(multiclock.Config{
 		Policy:       multiclock.Policy(cfg.policy),
 		DRAMPages:    cfg.dram,
@@ -145,25 +188,30 @@ func runOne(w io.Writer, cfg config) error {
 	})
 	defer sys.Stop()
 
+	var collector *multiclock.Metrics
+	if cfg.metrics {
+		collector = sys.EnableMetrics(cfg.traceEvents)
+	}
+
 	var recorder *tracereplay.Recorder
 	if cfg.record != "" {
 		f, err := os.Create(cfg.record)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		recorder, err = tracereplay.NewRecorder(f)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		sys.Machine().Observer = recorder
+		sys.Attach(recorder)
 	}
 
 	switch {
 	case cfg.replay != "":
 		f, err := os.Open(cfg.replay)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		mode := tracereplay.Timed
@@ -172,24 +220,24 @@ func runOne(w io.Writer, cfg config) error {
 		}
 		res, err := tracereplay.Replay(sys.Machine(), f, mode)
 		if err != nil {
-			return fmt.Errorf("replay: %w", err)
+			return nil, fmt.Errorf("replay: %w", err)
 		}
 		fmt.Fprintf(w, "replayed %d accesses in %v (virtual)\n", res.Records, res.Elapsed)
 	case cfg.gapbs != "":
 		if err := runGAPBS(w, sys, cfg); err != nil {
-			return err
+			return nil, err
 		}
 	case cfg.sequence:
 		runSequence(w, sys, cfg.records, cfg.ops)
 	default:
 		if err := runYCSB(w, sys, cfg); err != nil {
-			return err
+			return nil, err
 		}
 	}
 
 	if recorder != nil {
 		if err := recorder.Close(); err != nil {
-			return fmt.Errorf("trace: %w", err)
+			return nil, fmt.Errorf("trace: %w", err)
 		}
 		fmt.Fprintf(w, "trace: %d accesses written to %s\n", recorder.Records(), cfg.record)
 	}
@@ -199,10 +247,14 @@ func runOne(w io.Writer, cfg config) error {
 	if fr := sys.FaultReport(); fr != "" {
 		fmt.Fprintln(w, fr)
 		if err := sys.CheckInvariants(); err != nil {
-			return fmt.Errorf("invariant check after chaos run: %w", err)
+			return nil, fmt.Errorf("invariant check after chaos run: %w", err)
 		}
 	}
-	return nil
+	if collector != nil {
+		run := collector.Run(cfg.label)
+		return &run, nil
+	}
+	return nil, nil
 }
 
 // runSequence executes the prescribed workload order (§V-B) and prints a

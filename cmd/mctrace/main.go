@@ -59,7 +59,7 @@ func main() {
 
 	if *analysis {
 		wf := trace.NewWindowFreq(dur/12, dur/12)
-		m.Observer = wf
+		m.Attach(wf)
 		trace.RunPattern(m, as, pattern, dur, *seed)
 		res := wf.Result()
 		fmt.Printf("pattern %s over %v\n", pattern.Name, dur)
@@ -82,7 +82,7 @@ func main() {
 		vpns = append(vpns, base+pagetable.VPN(idx))
 	}
 	h := trace.NewHeatmap(vpns, []int32{as.ID}, dur/40)
-	m.Observer = h
+	m.Attach(h)
 	trace.RunPattern(m, as, pattern, dur, *seed)
 
 	if *csv {

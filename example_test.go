@@ -71,9 +71,10 @@ func ExampleRunExperiment() {
 	// true
 }
 
-// ExampleSystem_TrackPromotions shows the Fig. 8/9 telemetry: promotions
-// and their re-access quality under a skewed workload.
-func ExampleSystem_TrackPromotions() {
+// ExampleSystem_Attach shows the multi-observer telemetry: a promotion
+// tracker (the Fig. 8/9 instrument) and a metrics collector ride the same
+// run, and observers detach independently.
+func ExampleSystem_Attach() {
 	sys := multiclock.NewSystem(multiclock.Config{
 		DRAMPages:    256,
 		PMPages:      2048,
@@ -81,7 +82,11 @@ func ExampleSystem_TrackPromotions() {
 		Seed:         1,
 	})
 	defer sys.Stop()
-	tracker := sys.TrackPromotions(100 * multiclock.Millisecond)
+
+	col := sys.EnableMetrics(64) // observer #1: metrics + event trace
+	tracker := sys.NewPromotionTracker(100 * multiclock.Millisecond)
+	detach := sys.Attach(tracker) // observer #2: promotion telemetry
+	defer detach()
 
 	store := sys.NewKVStore(6000)
 	client := sys.NewYCSB(store, 6000)
@@ -90,7 +95,9 @@ func ExampleSystem_TrackPromotions() {
 
 	fmt.Println(tracker.TotalPromotions() > 0)
 	fmt.Println(tracker.MeanReaccessPercent() > 0)
+	fmt.Println(col.Registry().Counter("promotions").Value() == sys.Counters().Promotions)
 	// Output:
+	// true
 	// true
 	// true
 }

@@ -20,7 +20,8 @@ func run(policy multiclock.Policy) {
 		Seed:         11,
 	})
 	defer sys.Stop()
-	tracker := sys.TrackPromotions(200 * multiclock.Millisecond)
+	tracker := sys.NewPromotionTracker(200 * multiclock.Millisecond)
+	sys.Attach(tracker)
 
 	store := sys.NewKVStore(20000)
 	client := sys.NewYCSB(store, 16000)

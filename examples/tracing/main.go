@@ -33,7 +33,7 @@ func main() {
 		samples = append(samples, base+pagetable.VPN(i*pattern.Pages/40))
 	}
 	h := trace.NewHeatmap(samples, []int32{as.ID}, duration/48)
-	m.Observer = h
+	m.Attach(h)
 
 	trace.RunPattern(m, as, pattern, duration, 5)
 
@@ -47,7 +47,7 @@ func main() {
 	m2 := machine.New(cfg, policy.NewStatic())
 	as2 := m2.NewSpace()
 	wf := trace.NewWindowFreq(duration/12, duration/12)
-	m2.Observer = wf
+	m2.Attach(wf)
 	trace.RunPattern(m2, as2, pattern, duration, 5)
 	res := wf.Result()
 	fmt.Printf("\nwindow analysis: single-access pages avg %.2f accesses next window;\n", res.SingleMean)

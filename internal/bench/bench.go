@@ -25,9 +25,15 @@ import (
 	"multiclock/internal/fault"
 	"multiclock/internal/machine"
 	"multiclock/internal/mem"
+	"multiclock/internal/metrics"
 	"multiclock/internal/policy"
 	"multiclock/internal/sim"
 )
+
+// DefaultScanInterval is the promotion-daemon period when none is given:
+// the paper's kpromoted runs every 1 s (§V-E). This is the single home of
+// that default — the facade and every experiment defer to it.
+const DefaultScanInterval = 1 * sim.Second
 
 // Options selects the run scale.
 type Options struct {
@@ -46,6 +52,11 @@ type Options struct {
 	// experiment builds. The zero value disables injection entirely and
 	// reproduces fault-free output bit for bit.
 	Chaos fault.Config
+	// Metrics, when non-nil, collects per-machine telemetry from the
+	// experiments that support it (the YCSB family: figs. 5 and 7–10) into
+	// labeled registries for deterministic export. Nil collects nothing
+	// and leaves every simulation untouched.
+	Metrics *metrics.Pool
 }
 
 // workers resolves Parallel for runner.Map.
@@ -66,8 +77,12 @@ var SystemNames = []string{"static", "multiclock", "nimble", "at-cpm", "at-opm"}
 // MemModeNames lists the Fig. 7 comparison set.
 var MemModeNames = []string{"static", "multiclock", "memory-mode"}
 
-// NewPolicy constructs a policy by name with the given daemon interval.
+// NewPolicy constructs a policy by name with the given daemon interval;
+// a non-positive interval means DefaultScanInterval.
 func NewPolicy(name string, interval sim.Duration) (machine.Policy, error) {
+	if interval <= 0 {
+		interval = DefaultScanInterval
+	}
 	switch name {
 	case "static":
 		return policy.NewStatic(), nil
@@ -127,11 +142,29 @@ type scale struct {
 	// Chaos passes the Options fault-injection config through to every
 	// machine the experiment builds.
 	Chaos fault.Config
+	// Metrics and MetricsPrefix thread the Options telemetry pool through
+	// to each cell; collectors are claimed under Prefix+cell labels. Both
+	// must be set for a cell to instrument itself.
+	Metrics       *metrics.Pool
+	MetricsPrefix string
+}
+
+// instrument claims a collector labeled sc.MetricsPrefix+label, binds it to
+// m and installs it as both observer and telemetry sink. No-op (and no
+// allocation) when the experiment carries no pool or no prefix.
+func (sc scale) instrument(m *machine.Machine, label string) {
+	if sc.Metrics == nil || sc.MetricsPrefix == "" {
+		return
+	}
+	c := sc.Metrics.Collector(sc.MetricsPrefix + label).Bind(m)
+	m.SetMetrics(c)
+	m.Attach(c)
 }
 
 func (o Options) scale() scale {
 	sc := o.sizes()
 	sc.Chaos = o.Chaos
+	sc.Metrics = o.Metrics
 	return sc
 }
 
@@ -185,17 +218,8 @@ func machineFor(sc scale, seed uint64, p machine.Policy) *machine.Machine {
 
 // stopDaemons halts a policy's daemons so abandoned machines cost nothing.
 func stopDaemons(p machine.Policy) {
-	switch v := p.(type) {
-	case *core.MultiClock:
-		v.Stop()
-	case *policy.Nimble:
-		v.Stop()
-	case *policy.AutoTiering:
-		v.Stop()
-	case *policy.AMP:
-		v.Stop()
-	case *policy.Thermostat:
-		v.Stop()
+	if st, ok := p.(machine.Stopper); ok {
+		st.Stop()
 	}
 }
 

@@ -120,7 +120,7 @@ func TestPromotionTelemetryShape(t *testing.T) {
 		t.Skip("multi-second experiment")
 	}
 	t.Parallel()
-	mc, nb, _ := promotionTelemetry(quickOpt)
+	mc, nb, _ := promotionTelemetry(quickOpt, "")
 	// Nimble promotes more pages (Fig. 8)...
 	if nb.Tracker.TotalPromotions() <= mc.Tracker.TotalPromotions() {
 		t.Errorf("nimble promotions %d ≤ multiclock %d",

@@ -46,7 +46,7 @@ func Fig1(opt Options) string {
 			samples = append(samples, sampleBase+pagetable.VPN(idx))
 		}
 		h := trace.NewHeatmap(samples, []int32{as.ID}, duration/40)
-		m.Observer = h
+		m.Attach(h)
 		trace.RunPattern(m, as, p, duration, opt.Seed)
 
 		return fmt.Sprintf("--- %s ---\n%s\n", p.Name, h.Render())
@@ -72,7 +72,7 @@ func Fig2(opt Options) string {
 		m := machineFor(sc, opt.Seed, pol)
 		as := m.NewSpace()
 		wf := trace.NewWindowFreq(2*sc.Interval, 2*sc.Interval)
-		m.Observer = wf
+		m.Attach(wf)
 		trace.RunPattern(m, as, p, duration, opt.Seed)
 		res := wf.Result()
 		return []string{p.Name,

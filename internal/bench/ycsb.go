@@ -28,10 +28,11 @@ func ycsbRun(sc scale, seed uint64, system string, interval sim.Duration, track 
 		panic(err)
 	}
 	m := machineFor(sc, seed, p)
+	sc.instrument(m, system)
 	var tracker *trace.PromotionTracker
 	if track {
 		tracker = trace.NewPromotionTracker(sc.Window).Bind(m)
-		m.Observer = tracker
+		m.Attach(tracker)
 	}
 	storeCfg := kvstore.DefaultConfig(int(sc.Records))
 	storeCfg.ItemTouches = 8
@@ -54,6 +55,7 @@ func ycsbRun(sc scale, seed uint64, system string, interval sim.Duration, track 
 // prescribed sequence, every tiered system, normalized to static tiering.
 func Fig5(opt Options) string {
 	sc := opt.scale()
+	sc.MetricsPrefix = "fig5/"
 	workloads := []string{"A", "B", "C", "F", "W", "D"}
 
 	// One schedulable cell per system; results keyed back by name.
@@ -100,6 +102,7 @@ func Fig5(opt Options) string {
 // static.
 func Fig7(opt Options) string {
 	sc := opt.scale()
+	sc.MetricsPrefix = "fig7/"
 	// 4× DRAM: each 1000-byte record occupies ¼ page in its slab, so a
 	// footprint of 4×DRAMPages pages needs 16 records per DRAM frame.
 	sc.Records = int64(16 * sc.DRAMPages)
@@ -171,9 +174,12 @@ func Fig7(opt Options) string {
 	return tb.String() + "\n" + tb2.String()
 }
 
-// Fig8 and Fig9 share one instrumented run of MULTI-CLOCK and Nimble.
-func promotionTelemetry(opt Options) (mc, nb ycsbRunResult, sc scale) {
+// Fig8 and Fig9 share one instrumented run of MULTI-CLOCK and Nimble. The
+// metricsPrefix keeps their pool labels distinct when one pool collects
+// both figures.
+func promotionTelemetry(opt Options, metricsPrefix string) (mc, nb ycsbRunResult, sc scale) {
 	sc = opt.scale()
+	sc.MetricsPrefix = metricsPrefix
 	cells := runner.Map(opt.workers(), []string{"multiclock", "nimble"}, func(_ int, system string) ycsbRunResult {
 		return ycsbRun(sc, opt.Seed, system, sc.Interval, true)
 	})
@@ -183,7 +189,7 @@ func promotionTelemetry(opt Options) (mc, nb ycsbRunResult, sc scale) {
 // Fig8 regenerates the pages-promoted-per-window comparison between
 // MULTI-CLOCK and Nimble.
 func Fig8(opt Options) string {
-	mc, nb, sc := promotionTelemetry(opt)
+	mc, nb, sc := promotionTelemetry(opt, "fig8/")
 	mcS, nbS := mc.Tracker.Promotions(), nb.Tracker.Promotions()
 	n := maxLen(mcS, nbS)
 	tb := stats.NewTable(
@@ -201,7 +207,7 @@ func Fig8(opt Options) string {
 
 // Fig9 regenerates the re-access percentage of recently promoted pages.
 func Fig9(opt Options) string {
-	mc, nb, sc := promotionTelemetry(opt)
+	mc, nb, sc := promotionTelemetry(opt, "fig9/")
 	mcS, nbS := mc.Tracker.ReaccessPercent(), nb.Tracker.ReaccessPercent()
 	n := maxLen(mcS, nbS)
 	tb := stats.NewTable(
@@ -223,6 +229,7 @@ func Fig9(opt Options) string {
 // (scan overhead vs reaction lag), not warmup speed.
 func Fig10(opt Options) string {
 	sc := opt.scale()
+	sc.MetricsPrefix = "fig10/"
 	intervals := []sim.Duration{
 		sc.Interval / 10,
 		sc.Interval / 4,
@@ -276,6 +283,7 @@ func ycsbWorkloadA(sc scale, seed uint64, system string, interval sim.Duration, 
 		panic(err)
 	}
 	m := machineFor(sc, seed, p)
+	sc.instrument(m, system+"@"+interval.String())
 	storeCfg := kvstore.DefaultConfig(int(sc.Records))
 	storeCfg.ItemTouches = 8
 	store := kvstore.New(m, storeCfg)

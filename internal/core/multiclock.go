@@ -271,6 +271,9 @@ func (mc *MultiClock) kpromoted(node mem.NodeID) int {
 
 	tier := m.Mem.Nodes[node].Tier
 	candidates := vec.CollectPromote(-1)
+	if m.Metrics != nil {
+		m.Metrics.QueueDepth("promote_queue_depth", len(candidates), m.Clock.Now())
+	}
 	if tier == mem.TierDRAM {
 		// Top tier: nothing higher. Promote-list residents return to the
 		// active list — they are simply the hottest pages where they are.

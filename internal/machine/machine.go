@@ -64,7 +64,9 @@ func DefaultConfig() Config {
 }
 
 // Observer receives simulation telemetry. All methods are called
-// synchronously on the simulation thread.
+// synchronously on the simulation thread. Observers attach through
+// Machine.Attach; any number may be attached at once and each receives
+// every event in attach order.
 type Observer interface {
 	// OnAccess fires for every application memory access after the page is
 	// resident.
@@ -90,7 +92,14 @@ type Machine struct {
 	// disabled. mem.System shares the same injector.
 	Faults *fault.Injector
 
-	Observer Observer
+	// Metrics is the optional telemetry sink (install via SetMetrics). Nil
+	// leaves every path exactly as without the telemetry layer.
+	Metrics Telemetry
+
+	// observers is the attach-ordered registry; observer is the compiled
+	// fan-out target the hot path dispatches to (nil when empty).
+	observers []*obsSlot
+	observer  Observer
 
 	spaces []*pagetable.AddressSpace
 
@@ -102,6 +111,10 @@ type Machine struct {
 	// application access will absorb (TLB shootdowns, bandwidth
 	// contention).
 	pendingTax sim.Duration
+
+	// daemonWork accumulates raw (pre-interference) daemon-side cost; the
+	// pass hook reads deltas of it to time individual daemon wakeups.
+	daemonWork sim.Duration
 
 	// Ops counts completed workload operations (for throughput).
 	Ops int64
@@ -170,6 +183,7 @@ func (m *Machine) EndOp() {
 // ChargeTax adds daemon-side cost to be absorbed by the application
 // timeline on its next access, scaled by the interference factor.
 func (m *Machine) ChargeTax(d sim.Duration) {
+	m.daemonWork += d
 	m.pendingTax += sim.Duration(float64(d) * m.cfg.DaemonInterference)
 }
 
@@ -225,8 +239,8 @@ func (m *Machine) AccessN(as *pagetable.AddressSpace, vpn pagetable.VPN, write b
 		lat += m.Mem.Lat.HintFault
 		m.Mem.Counters.HintFaults++
 		m.Policy.HintFault(pg, write)
-		if m.Observer != nil {
-			m.Observer.OnFault(pg, true, m.Clock.Now())
+		if m.observer != nil {
+			m.observer.OnFault(pg, true, m.Clock.Now())
 		}
 	}
 	pagetable.Touch(pg, write)
@@ -245,20 +259,24 @@ func (m *Machine) AccessN(as *pagetable.AddressSpace, vpn pagetable.VPN, write b
 		} else {
 			m.Mem.Counters.Reads[tier] += int64(lines)
 		}
-		lat += sim.Duration(lines) * m.Policy.Access(pg, write)
+		dev := sim.Duration(lines) * m.Policy.Access(pg, write)
 		if m.Faults != nil {
 			// Injected PM media-slowdown window: accesses inside it pay a
 			// multiple of the tier's base latency (Optane tail spikes).
-			lat += sim.Duration(lines) * m.Faults.AccessDelay(
+			dev += sim.Duration(lines) * m.Faults.AccessDelay(
 				tier == mem.TierPM, m.Mem.Lat.AccessCost(tier, write))
+		}
+		lat += dev
+		if m.Metrics != nil {
+			m.Metrics.AccessLatency(tier, write, dev, m.Clock.Now())
 		}
 	}
 	if m.pendingTax > 0 {
 		lat += m.pendingTax
 		m.pendingTax = 0
 	}
-	if m.Observer != nil {
-		m.Observer.OnAccess(pg, write, m.Clock.Now())
+	if m.observer != nil {
+		m.observer.OnAccess(pg, write, m.Clock.Now())
 	}
 	m.Clock.Advance(lat)
 	return pg
@@ -320,8 +338,8 @@ func (m *Machine) fault(as *pagetable.AddressSpace, vpn pagetable.VPN) *mem.Page
 	pg.Accessed = true
 	m.Vecs[pg.Node].Add(pg)
 	m.Policy.PageBirth(pg)
-	if m.Observer != nil {
-		m.Observer.OnFault(pg, false, m.Clock.Now())
+	if m.observer != nil {
+		m.observer.OnFault(pg, false, m.Clock.Now())
 	}
 	// Birth can push a node below its low watermark; let the policy react
 	// (kswapd wakeup).
@@ -357,8 +375,8 @@ func (m *Machine) faultHuge(as *pagetable.AddressSpace, vpn pagetable.VPN, vma *
 			pg.Accessed = true
 			m.Vecs[pg.Node].Add(pg)
 			m.Policy.PageBirth(pg)
-			if m.Observer != nil {
-				m.Observer.OnFault(pg, false, m.Clock.Now())
+			if m.observer != nil {
+				m.observer.OnFault(pg, false, m.Clock.Now())
 			}
 			if m.Mem.Nodes[pg.Node].UnderLow() {
 				m.Policy.Pressure(pg.Node)
@@ -458,8 +476,11 @@ func (m *Machine) finishMigration(pg *mem.Page, src, dst mem.NodeID, res mem.Mig
 		// Moving the frame invalidates cached copies.
 		m.cache.Invalidate(pg)
 	}
-	if m.Observer != nil {
-		m.Observer.OnMigrate(pg, src, dst, m.Clock.Now())
+	if m.Metrics != nil {
+		m.Metrics.Migration(src, dst, pg.Frames(), res.Cost, m.Clock.Now())
+	}
+	if m.observer != nil {
+		m.observer.OnMigrate(pg, src, dst, m.Clock.Now())
 	}
 }
 

@@ -335,7 +335,7 @@ func (r *recObserver) OnFault(pg *mem.Page, hint bool, now sim.Time) {
 func TestObserverHooks(t *testing.T) {
 	m := testMachine(100, 100)
 	obs := &recObserver{}
-	m.Observer = obs
+	m.Attach(obs)
 	as := m.NewSpace()
 	v := as.Mmap(2, false, "x")
 	pg := m.Access(as, v.Start, false)

@@ -47,6 +47,14 @@ type Policy interface {
 	DirectReclaim(n int) int
 }
 
+// Stopper is implemented by policies that run daemons: Stop halts them so
+// abandoned machines cost nothing. Callers that tear systems down should
+// type-assert once against this interface instead of enumerating concrete
+// policy types.
+type Stopper interface {
+	Stop()
+}
+
 // Base provides the default behaviour shared by every policy: DRAM-first
 // birth, base tier latency, and swap-based direct reclaim from the lowest
 // tier. Embed it and override what differs.

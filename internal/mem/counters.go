@@ -70,6 +70,33 @@ func (c *Counters) TotalAccesses() int64 {
 	return t
 }
 
+// Each visits every counter as a name/value pair in a fixed order, the
+// iteration the metrics exporter serializes as the vmstat section. Names are
+// snake_case and stable across releases; additions append here.
+func (c *Counters) Each(f func(name string, v int64)) {
+	f("reads_dram", c.Reads[TierDRAM])
+	f("reads_pm", c.Reads[TierPM])
+	f("writes_dram", c.Writes[TierDRAM])
+	f("writes_pm", c.Writes[TierPM])
+	f("cache_filtered", c.CacheFiltered)
+	f("allocs_dram", c.Allocs[TierDRAM])
+	f("allocs_pm", c.Allocs[TierPM])
+	f("frees_dram", c.Frees[TierDRAM])
+	f("frees_pm", c.Frees[TierPM])
+	f("minor_faults", c.MinorFaults)
+	f("hint_faults", c.HintFaults)
+	f("promotions", c.Promotions)
+	f("demotions", c.Demotions)
+	f("migrate_fails", c.MigrateFails)
+	f("swap_outs", c.SwapOuts)
+	f("swap_ins", c.SwapIns)
+	f("oom_kills", c.OOMKills)
+	f("emergency_allocs", c.EmergencyAllocs)
+	f("huge_splits", c.HugeSplits)
+	f("pages_scanned", c.PagesScanned)
+	f("migration_busy_ns", int64(c.MigrationBusy))
+}
+
 // String renders the counters as a compact multi-line report.
 func (c *Counters) String() string {
 	var b strings.Builder

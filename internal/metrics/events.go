@@ -1,0 +1,98 @@
+package metrics
+
+import "multiclock/internal/sim"
+
+// EventKind classifies one structured trace event.
+type EventKind uint8
+
+// The event kinds the machine and policies emit.
+const (
+	// EventPromote is a successful upward migration.
+	EventPromote EventKind = iota
+	// EventDemote is a successful downward migration.
+	EventDemote
+	// EventFault is a minor (first-touch) page fault.
+	EventFault
+	// EventHintFault is a software hint fault (poisoned-PTE trackers).
+	EventHintFault
+	// EventScan is one completed daemon pass.
+	EventScan
+	numEventKinds
+)
+
+// kindNames are the stable wire names of the event kinds.
+var kindNames = [numEventKinds]string{"promote", "demote", "fault", "hint-fault", "scan"}
+
+// String returns the stable wire name of the kind.
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one structured trace record, stamped with virtual time. The
+// auxiliary fields are kind-specific: migrations carry From/To/Pages, scans
+// carry the daemon name and its pass work, faults carry the page VA.
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	// From and To are node IDs for migrations (-1 otherwise).
+	From, To int
+	// Pages is the frame count a migration moved.
+	Pages int
+	// VA is the faulting page's virtual address (faults only).
+	VA uint64
+	// Work is the raw daemon-side cost of a scan pass.
+	Work sim.Duration
+	// Name is the emitting daemon for scan events.
+	Name string
+}
+
+// EventTrace is a fixed-capacity ring of the most recent events. When full,
+// the oldest event is overwritten and the dropped count grows — bounded
+// memory over arbitrarily long runs, like a kernel trace buffer.
+type EventTrace struct {
+	buf     []Event
+	start   int // index of the oldest event
+	n       int // live events in buf
+	dropped int64
+}
+
+func newEventTrace(capacity int) *EventTrace {
+	return &EventTrace{buf: make([]Event, capacity)}
+}
+
+// Add records one event, evicting the oldest when the ring is full.
+func (t *EventTrace) Add(ev Event) {
+	if len(t.buf) == 0 {
+		t.dropped++
+		return
+	}
+	if t.n == len(t.buf) {
+		t.buf[t.start] = ev
+		t.start = (t.start + 1) % len(t.buf)
+		t.dropped++
+		return
+	}
+	t.buf[(t.start+t.n)%len(t.buf)] = ev
+	t.n++
+}
+
+// Len returns the number of live events.
+func (t *EventTrace) Len() int { return t.n }
+
+// Dropped returns how many events were evicted to make room.
+func (t *EventTrace) Dropped() int64 { return t.dropped }
+
+// Capacity returns the ring size.
+func (t *EventTrace) Capacity() int { return len(t.buf) }
+
+// Events returns the live events oldest-first.
+func (t *EventTrace) Events() []Event {
+	out := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(t.start+i)%len(t.buf)])
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ExportVersion is the schema version of the JSON export.
+const ExportVersion = 1
+
+// Export is the top-level JSON document: one file carries any number of
+// labeled runs (one per simulated machine), sorted by label. All fields are
+// integers or strings, so serialization is byte-deterministic.
+type Export struct {
+	Version int         `json:"version"`
+	Runs    []RunExport `json:"runs"`
+}
+
+// RunExport is one machine's telemetry.
+type RunExport struct {
+	// Label identifies the run ("mcsim/multiclock", "fig10/nimble@10ms").
+	Label string `json:"label"`
+	// Now is the machine's virtual clock at export, in nanoseconds.
+	Now int64 `json:"virtual_now_ns"`
+	// Counters, Gauges and Histograms are the registry's instruments,
+	// sorted by name. Vmstat is the machine's memory-system event counters
+	// in their fixed declaration order.
+	Counters   []NamedValue  `json:"counters"`
+	Vmstat     []NamedValue  `json:"vmstat,omitempty"`
+	Gauges     []GaugeExport `json:"gauges"`
+	Histograms []HistExport  `json:"histograms"`
+	// Trace is the structured event ring, oldest-first; omitted when event
+	// tracing was disabled.
+	Trace *TraceExport `json:"trace,omitempty"`
+}
+
+// NamedValue is one counter.
+type NamedValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeExport is one gauge's final and peak level.
+type GaugeExport struct {
+	Name string `json:"name"`
+	Last int64  `json:"last"`
+	Max  int64  `json:"max"`
+}
+
+// Bucket is one occupied histogram bucket: Count samples at values ≤ LE
+// (and greater than the previous bucket's LE).
+type Bucket struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistExport is one histogram.
+type HistExport struct {
+	Name    string   `json:"name"`
+	N       int64    `json:"n"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// TraceExport is the event ring.
+type TraceExport struct {
+	Capacity int           `json:"capacity"`
+	Dropped  int64         `json:"dropped"`
+	Events   []EventExport `json:"events"`
+}
+
+// EventExport is one trace event on the wire.
+type EventExport struct {
+	At    int64  `json:"at"`
+	Kind  string `json:"kind"`
+	From  int    `json:"from,omitempty"`
+	To    int    `json:"to,omitempty"`
+	Pages int    `json:"pages,omitempty"`
+	VA    uint64 `json:"va,omitempty"`
+	Work  int64  `json:"work,omitempty"`
+	Name  string `json:"name,omitempty"`
+}
+
+// Run snapshots the collector's registry (and, when bound, the machine's
+// vmstat counters and clock) as one labeled run.
+func (c *Collector) Run(label string) RunExport {
+	r := c.reg
+	out := RunExport{Label: label}
+	if c.now != nil {
+		out.Now = int64(c.now())
+	}
+	for _, name := range sortedNames(r.counters) {
+		out.Counters = append(out.Counters, NamedValue{Name: name, Value: r.counters[name].Value()})
+	}
+	if c.vmstat != nil {
+		c.vmstat.Each(func(name string, v int64) {
+			out.Vmstat = append(out.Vmstat, NamedValue{Name: name, Value: v})
+		})
+	}
+	for _, name := range sortedNames(r.gauges) {
+		g := r.gauges[name]
+		out.Gauges = append(out.Gauges, GaugeExport{Name: name, Last: g.Last(), Max: g.Max()})
+	}
+	for _, name := range sortedNames(r.hists) {
+		h := r.hists[name]
+		he := HistExport{Name: name, N: h.n, Sum: h.sum, Min: h.min, Max: h.max}
+		for k, cnt := range h.counts {
+			if cnt > 0 {
+				he.Buckets = append(he.Buckets, Bucket{LE: bucketUpper(k), Count: cnt})
+			}
+		}
+		out.Histograms = append(out.Histograms, he)
+	}
+	if t := r.events; t != nil {
+		te := &TraceExport{Capacity: t.Capacity(), Dropped: t.Dropped()}
+		for _, ev := range t.Events() {
+			te.Events = append(te.Events, EventExport{
+				At: int64(ev.At), Kind: ev.Kind.String(),
+				From: ev.From, To: ev.To, Pages: ev.Pages,
+				VA: ev.VA, Work: int64(ev.Work), Name: ev.Name,
+			})
+		}
+		out.Trace = te
+	}
+	return out
+}
+
+// ExportJSON renders the runs as the canonical indented JSON document,
+// sorted by label. Equal telemetry yields identical bytes.
+func ExportJSON(runs ...RunExport) ([]byte, error) {
+	sorted := append([]RunExport(nil), runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Label < sorted[j].Label })
+	b, err := json.MarshalIndent(Export{Version: ExportVersion, Runs: sorted}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ExportCSV renders the runs' histograms as a flat CSV (label, histogram,
+// bucket upper bound, count, plus summary rows) for external plotting.
+func ExportCSV(runs ...RunExport) string {
+	sorted := append([]RunExport(nil), runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Label < sorted[j].Label })
+	var b strings.Builder
+	b.WriteString("label,histogram,le,count,n,sum\n")
+	for _, run := range sorted {
+		for _, h := range run.Histograms {
+			for _, bk := range h.Buckets {
+				fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d\n", run.Label, h.Name, bk.LE, bk.Count, h.N, h.Sum)
+			}
+		}
+	}
+	return b.String()
+}
+
+// ReadExport parses and schema-checks an export document.
+func ReadExport(data []byte) (*Export, error) {
+	var ex Export
+	if err := json.Unmarshal(data, &ex); err != nil {
+		return nil, fmt.Errorf("metrics: parsing export: %w", err)
+	}
+	if err := ex.Validate(); err != nil {
+		return nil, err
+	}
+	return &ex, nil
+}
+
+// requiredHistograms must exist (possibly empty) on every run: the
+// evaluation's two headline distributions.
+var requiredHistograms = []string{HistMigrationLatency, HistDaemonPassWork}
+
+// Validate checks the document against the schema: supported version,
+// label-sorted unique runs, name-sorted instruments, bucket counts that
+// reconcile with sample counts, time-ordered events within capacity, and
+// the presence of the required histograms.
+func (ex *Export) Validate() error {
+	if ex.Version != ExportVersion {
+		return fmt.Errorf("metrics: unsupported export version %d (want %d)", ex.Version, ExportVersion)
+	}
+	for i, run := range ex.Runs {
+		if run.Label == "" {
+			return fmt.Errorf("metrics: run %d has an empty label", i)
+		}
+		if i > 0 && ex.Runs[i-1].Label >= run.Label {
+			return fmt.Errorf("metrics: runs not sorted by unique label at %q", run.Label)
+		}
+		if run.Now < 0 {
+			return fmt.Errorf("metrics: run %q: negative virtual_now_ns", run.Label)
+		}
+		if err := run.validate(); err != nil {
+			return fmt.Errorf("metrics: run %q: %w", run.Label, err)
+		}
+	}
+	return nil
+}
+
+func (run *RunExport) validate() error {
+	for i, c := range run.Counters {
+		if c.Name == "" || (i > 0 && run.Counters[i-1].Name >= c.Name) {
+			return fmt.Errorf("counters not sorted by unique non-empty name at %d", i)
+		}
+		if c.Value < 0 {
+			return fmt.Errorf("counter %q is negative", c.Name)
+		}
+	}
+	for i, g := range run.Gauges {
+		if g.Name == "" || (i > 0 && run.Gauges[i-1].Name >= g.Name) {
+			return fmt.Errorf("gauges not sorted by unique non-empty name at %d", i)
+		}
+		if g.Last > g.Max {
+			return fmt.Errorf("gauge %q: last %d exceeds max %d", g.Name, g.Last, g.Max)
+		}
+	}
+	have := map[string]bool{}
+	for i, h := range run.Histograms {
+		if h.Name == "" || (i > 0 && run.Histograms[i-1].Name >= h.Name) {
+			return fmt.Errorf("histograms not sorted by unique non-empty name at %d", i)
+		}
+		have[h.Name] = true
+		var total int64
+		prev := int64(-1)
+		for _, bk := range h.Buckets {
+			if bk.Count <= 0 {
+				return fmt.Errorf("histogram %q: empty bucket exported at le=%d", h.Name, bk.LE)
+			}
+			if bk.LE <= prev {
+				return fmt.Errorf("histogram %q: buckets not in ascending le order", h.Name)
+			}
+			prev = bk.LE
+			total += bk.Count
+		}
+		if total != h.N {
+			return fmt.Errorf("histogram %q: bucket counts sum to %d, n is %d", h.Name, total, h.N)
+		}
+		if h.N > 0 && (h.Min > h.Max || h.Sum < h.Min) {
+			return fmt.Errorf("histogram %q: inconsistent min/max/sum", h.Name)
+		}
+	}
+	for _, name := range requiredHistograms {
+		if !have[name] {
+			return fmt.Errorf("missing required histogram %q", name)
+		}
+	}
+	if t := run.Trace; t != nil {
+		if len(t.Events) > t.Capacity {
+			return fmt.Errorf("trace holds %d events over capacity %d", len(t.Events), t.Capacity)
+		}
+		if t.Dropped < 0 {
+			return fmt.Errorf("trace dropped count is negative")
+		}
+		prev := int64(-1)
+		for i, ev := range t.Events {
+			if ev.At < prev {
+				return fmt.Errorf("trace events out of time order at index %d", i)
+			}
+			prev = ev.At
+			if ev.Kind == "" {
+				return fmt.Errorf("trace event %d has no kind", i)
+			}
+		}
+	}
+	return nil
+}

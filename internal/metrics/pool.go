@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool coordinates per-machine collectors across concurrently simulated
+// machines (the benchmark runner fans cells out to goroutines). Each cell
+// claims a uniquely labeled collector; the export sorts by label, so the
+// file's bytes do not depend on goroutine scheduling.
+type Pool struct {
+	mu          sync.Mutex
+	traceEvents int
+	collectors  map[string]*Collector
+}
+
+// NewPool creates a pool whose collectors each get an event ring of
+// traceEvents entries (zero or negative disables event tracing).
+func NewPool(traceEvents int) *Pool {
+	return &Pool{traceEvents: traceEvents, collectors: make(map[string]*Collector)}
+}
+
+// Collector creates and returns the collector for label. Labels must be
+// unique: a duplicate means two cells would interleave samples on one
+// single-threaded registry, so it panics rather than corrupt data.
+func (p *Pool) Collector(label string) *Collector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.collectors[label]; ok {
+		panic(fmt.Sprintf("metrics: duplicate pool label %q", label))
+	}
+	c := NewCollector(NewRegistry(p.traceEvents))
+	p.collectors[label] = c
+	return c
+}
+
+// Len returns how many collectors have been claimed.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.collectors)
+}
+
+// Runs snapshots every collector as a labeled run, sorted by label.
+func (p *Pool) Runs() []RunExport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	runs := make([]RunExport, 0, len(p.collectors))
+	for _, label := range sortedNames(p.collectors) {
+		runs = append(runs, p.collectors[label].Run(label))
+	}
+	return runs
+}
+
+// ExportJSON renders every collector as one canonical JSON document.
+func (p *Pool) ExportJSON() ([]byte, error) {
+	return ExportJSON(p.Runs()...)
+}

@@ -91,7 +91,11 @@ func (nb *Nimble) scan(node mem.NodeID) {
 	if m.Mem.Nodes[node].Tier != mem.TierPM {
 		return
 	}
-	for _, pg := range vec.CollectActiveReferenced(nb.cfg.ScanBatch, nb.cfg.ScanBatch) {
+	candidates := vec.CollectActiveReferenced(nb.cfg.ScanBatch, nb.cfg.ScanBatch)
+	if m.Metrics != nil {
+		m.Metrics.QueueDepth("promote_queue_depth", len(candidates), m.Clock.Now())
+	}
+	for _, pg := range candidates {
 		if nb.promoteIsolated(pg) {
 			nb.Promotions++
 		} else {

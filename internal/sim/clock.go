@@ -44,6 +44,14 @@ func (d Duration) String() string {
 // Seconds reports the duration as floating-point seconds.
 func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
 
+// PassHook wraps every daemon wakeup on a clock. The hook must call run
+// exactly once; it may observe state around the call (the machine uses it
+// to attribute daemon-side work to the pass that charged it) but must not
+// advance virtual time itself, or determinism guarantees break.
+type PassHook interface {
+	DaemonPass(d *Daemon, run func())
+}
+
 // Clock tracks virtual time and dispatches due events.
 //
 // The application (workload) side advances the clock by charging latencies
@@ -53,6 +61,10 @@ type Clock struct {
 	now    Time
 	events eventHeap
 	seq    uint64 // tie-breaker so equal-deadline events fire FIFO
+
+	// Hook, when non-nil, wraps every daemon wakeup (telemetry). Nil adds
+	// no work to any path.
+	Hook PassHook
 }
 
 // NewClock returns a clock positioned at time zero with an empty event queue.
@@ -251,7 +263,11 @@ func (d *Daemon) arm() {
 		if d.stopped {
 			return
 		}
-		d.Body(d.clock.Now())
+		if h := d.clock.Hook; h != nil {
+			h.DaemonPass(d, func() { d.Body(d.clock.Now()) })
+		} else {
+			d.Body(d.clock.Now())
+		}
 		d.Runs++
 		if !d.stopped {
 			d.arm()

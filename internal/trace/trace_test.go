@@ -27,7 +27,7 @@ func TestHeatmapRecordsWindows(t *testing.T) {
 	v := as.Mmap(10, false, "x")
 	vpns := []pagetable.VPN{v.Start, v.Start + 1}
 	h := NewHeatmap(vpns, []int32{as.ID}, 1*sim.Second)
-	m.Observer = h
+	m.Attach(h)
 
 	m.Access(as, v.Start, false)
 	m.Access(as, v.Start, false)
@@ -65,7 +65,7 @@ func TestHeatmapIgnoresOtherSpaces(t *testing.T) {
 	v1 := as1.Mmap(1, false, "a")
 	v2 := as2.Mmap(1, false, "b")
 	h := NewHeatmap([]pagetable.VPN{v1.Start}, []int32{as1.ID}, sim.Second)
-	m.Observer = h
+	m.Attach(h)
 	m.Access(as2, v2.Start, false) // may share the VPN value
 	if h.Count(0, 0) != 0 {
 		t.Fatal("foreign space counted")
@@ -90,7 +90,7 @@ func TestPromotionTrackerCountsAndReaccess(t *testing.T) {
 	cfg.CPUCachePages = 0
 	m := machine.New(cfg, mc)
 	pt := NewPromotionTracker(20 * sim.Second).Bind(m)
-	m.Observer = pt
+	m.Attach(pt)
 
 	as := m.NewSpace()
 	v := as.Mmap(500, false, "data")
@@ -143,7 +143,7 @@ func TestWindowFreqSeparatesClasses(t *testing.T) {
 	as := m.NewSpace()
 	v := as.Mmap(20, false, "x")
 	wf := NewWindowFreq(1*sim.Second, 1*sim.Second)
-	m.Observer = wf
+	m.Attach(wf)
 
 	// Pages 0-4: multi-access in observation windows AND heavily accessed
 	// in performance windows. Pages 10-14: single-access in observation,
@@ -197,7 +197,7 @@ func TestMultiFansOut(t *testing.T) {
 	v := as.Mmap(1, false, "x")
 	h1 := NewHeatmap([]pagetable.VPN{v.Start}, []int32{as.ID}, sim.Second)
 	h2 := NewHeatmap([]pagetable.VPN{v.Start}, []int32{as.ID}, sim.Second)
-	m.Observer = Multi{h1, h2}
+	m.Attach(Multi{h1, h2})
 	m.Access(as, v.Start, false)
 	if h1.Count(0, 0) != 1 || h2.Count(0, 0) != 1 {
 		t.Fatal("multi did not fan out")
@@ -238,7 +238,7 @@ func TestRunPatternHeatmapShape(t *testing.T) {
 		vpns = append(vpns, vma.Start+pagetable.VPN(i))
 	}
 	h := NewHeatmap(vpns, []int32{as2.ID}, 1*sim.Second)
-	m2.Observer = h
+	m2.Attach(h)
 	RunPattern(m2, as2, p, 10*sim.Second, 1)
 
 	// DRAM-friendly rows (first 10%) must be consistently hotter than the

@@ -31,7 +31,7 @@ func capture(t *testing.T, accesses int) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.Observer = rec
+	m.Attach(rec)
 	as := m.NewSpace()
 	v := as.Mmap(800, false, "w")
 	rng := sim.NewRNG(4)
@@ -132,7 +132,7 @@ func TestReplayAcrossPolicies(t *testing.T) {
 	m0 := newM(policy.NewStatic())
 	var buf bytes.Buffer
 	rec, _ := NewRecorder(&buf)
-	m0.Observer = rec
+	m0.Attach(rec)
 	as := m0.NewSpace()
 	v := as.Mmap(800, false, "w")
 	// Pre-fault in reverse so the later-hot low pages land in PM.

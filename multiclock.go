@@ -22,6 +22,7 @@ package multiclock
 
 import (
 	"fmt"
+	"strings"
 
 	"multiclock/internal/bench"
 	"multiclock/internal/core"
@@ -30,9 +31,9 @@ import (
 	"multiclock/internal/kvstore"
 	"multiclock/internal/machine"
 	"multiclock/internal/mem"
+	"multiclock/internal/metrics"
 	"multiclock/internal/pagecache"
 	"multiclock/internal/pagetable"
-	"multiclock/internal/policy"
 	"multiclock/internal/sim"
 	"multiclock/internal/trace"
 	"multiclock/internal/ycsb"
@@ -54,6 +55,11 @@ const (
 	PolicyThermostat Policy = "thermostat"
 	// PolicyAMPLFU is AMP's exact-frequency selector (extension).
 	PolicyAMPLFU Policy = "amp-lfu"
+	// PolicyAMPLRU is AMP's exact-recency selector (extension).
+	PolicyAMPLRU Policy = "amp-lru"
+	// PolicyAMPRandom is AMP's random selector, the profiling-cost control
+	// (extension).
+	PolicyAMPRandom Policy = "amp-random"
 )
 
 // Policies lists every selectable policy.
@@ -65,7 +71,23 @@ func Policies() []Policy {
 // run that the paper could not deploy (§II-D): Thermostat-style region
 // tiering and the AMP selector family.
 func ExtensionPolicies() []Policy {
-	return []Policy{PolicyThermostat, PolicyAMPLFU, "amp-lru", "amp-random"}
+	return []Policy{PolicyThermostat, PolicyAMPLFU, PolicyAMPLRU, PolicyAMPRandom}
+}
+
+// ParsePolicy resolves a policy name (as CLIs accept it) to a Policy,
+// rejecting unknown names with the valid set in the error.
+func ParsePolicy(s string) (Policy, error) {
+	all := append(Policies(), ExtensionPolicies()...)
+	for _, p := range all {
+		if Policy(s) == p {
+			return p, nil
+		}
+	}
+	names := make([]string, len(all))
+	for i, p := range all {
+		names[i] = string(p)
+	}
+	return "", fmt.Errorf("multiclock: unknown policy %q (have %s)", s, strings.Join(names, ", "))
 }
 
 // Duration is virtual time in nanoseconds (re-exported from the simulator).
@@ -134,19 +156,18 @@ func NewSystem(cfg Config) *System {
 	if cfg.Policy == "" {
 		cfg.Policy = PolicyMultiClock
 	}
-	interval := cfg.ScanInterval
-	if interval <= 0 {
-		interval = 1 * Second
-	}
+	// Interval defaulting lives in bench.NewPolicy (and core.New for the
+	// custom-config path): a non-positive ScanInterval becomes the paper's
+	// 1 s everywhere, with no facade-local copy of the rule.
 	var pol machine.Policy
 	if cfg.Policy == PolicyMultiClock && cfg.MultiClock != nil {
 		c := *cfg.MultiClock
 		if c.ScanInterval <= 0 {
-			c.ScanInterval = interval
+			c.ScanInterval = cfg.ScanInterval
 		}
 		pol = core.New(c)
 	} else {
-		p, err := bench.NewPolicy(string(cfg.Policy), interval)
+		p, err := bench.NewPolicy(string(cfg.Policy), cfg.ScanInterval)
 		if err != nil {
 			panic(fmt.Sprintf("multiclock: %v", err))
 		}
@@ -205,19 +226,11 @@ func (s *System) FaultReport() string {
 }
 
 // Stop halts the policy's daemons (for long-lived processes building many
-// systems).
+// systems). Any policy with background work implements machine.Stopper;
+// policies without daemons have nothing to stop.
 func (s *System) Stop() {
-	switch v := s.pol.(type) {
-	case *core.MultiClock:
-		v.Stop()
-	case *policy.Nimble:
-		v.Stop()
-	case *policy.AutoTiering:
-		v.Stop()
-	case *policy.AMP:
-		v.Stop()
-	case *policy.Thermostat:
-		v.Stop()
+	if st, ok := s.pol.(machine.Stopper); ok {
+		st.Stop()
 	}
 }
 
@@ -277,18 +290,66 @@ func (s *System) NewGraph(cfg GraphConfig) *Graph {
 
 // Observer re-exports for telemetry.
 type (
+	// Observer receives page-level simulation events (accesses, migrations,
+	// faults). Attach any number of observers to a System; they are invoked
+	// in attach order and never advance virtual time.
+	Observer = machine.Observer
 	// PromotionTracker measures promotions and re-access (Figs. 8–9).
 	PromotionTracker = trace.PromotionTracker
 	// Heatmap records sampled page access intensity (Fig. 1).
 	Heatmap = trace.Heatmap
+	// Metrics is the virtual-clock-native metrics collector: counters,
+	// gauges, log-bucketed histograms and an optional structured event
+	// trace, with deterministic JSON/CSV export.
+	Metrics = metrics.Collector
+	// MetricsRun is one labeled metrics snapshot (Metrics.Run), the unit
+	// ExportMetricsJSON serializes.
+	MetricsRun = metrics.RunExport
 )
 
+// Attach registers an observer alongside any already attached and returns
+// a function that detaches exactly it. Multiple observers (a
+// PromotionTracker, a Heatmap, a Metrics collector, ...) coexist; each
+// sees every event.
+func (s *System) Attach(o Observer) (detach func()) {
+	return s.m.Attach(o)
+}
+
+// NewPromotionTracker builds a promotion tracker with the given window,
+// bound to this system but not yet attached; pass it to Attach.
+func (s *System) NewPromotionTracker(window Duration) *PromotionTracker {
+	return trace.NewPromotionTracker(window).Bind(s.m)
+}
+
 // TrackPromotions installs a promotion tracker with the given window and
-// returns it. It replaces any existing observer.
+// returns it.
+//
+// Deprecated: use NewPromotionTracker with Attach, which composes with
+// other observers and can be detached. TrackPromotions now attaches
+// additively (it no longer replaces existing observers).
 func (s *System) TrackPromotions(window Duration) *PromotionTracker {
-	t := trace.NewPromotionTracker(window).Bind(s.m)
-	s.m.Observer = t
+	t := s.NewPromotionTracker(window)
+	s.Attach(t)
 	return t
+}
+
+// EnableMetrics installs a metrics collector on the system and returns it.
+// traceEvents sizes the structured event ring (0 disables event tracing;
+// counters and histograms still record). The collector observes passively —
+// an instrumented run's simulation timeline is bit-for-bit identical to an
+// uninstrumented one. Export with ExportMetricsJSON or the collector's Run
+// snapshot.
+func (s *System) EnableMetrics(traceEvents int) *Metrics {
+	c := metrics.NewCollector(metrics.NewRegistry(traceEvents)).Bind(s.m)
+	s.m.SetMetrics(c)
+	s.Attach(c)
+	return c
+}
+
+// ExportMetricsJSON renders one or more labeled metric snapshots (from
+// Metrics.Run) as the canonical deterministic JSON document.
+func ExportMetricsJSON(runs ...metrics.RunExport) ([]byte, error) {
+	return metrics.ExportJSON(runs...)
 }
 
 // File-backed memory (re-exports): files whose cached pages ride the file

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"time"
+)
+
+// Wall-clock progress counters exported on /debug/vars. These observe the
+// host process only — the simulation itself is untouched, so enabling the
+// endpoint cannot move a single virtual-time result.
+var (
+	expExperimentsDone   = expvar.NewInt("mcbench.experiments_done")
+	expExperimentsFailed = expvar.NewInt("mcbench.experiments_failed")
+	expStartUnixNano     = expvar.NewInt("mcbench.start_unix_nano")
+)
+
+// serveDebug starts the opt-in expvar/pprof endpoint on addr. Long full-scale
+// batches are single-process and CPU-bound; this is the hook for profiling
+// them from outside (go tool pprof http://addr/debug/pprof/profile) without
+// instrumenting the run. Failure to bind is fatal: a user who asked for the
+// endpoint should not silently profile nothing.
+func serveDebug(addr string) {
+	expStartUnixNano.Set(time.Now().UnixNano())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: -http %s: %v\n", addr, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "mcbench: debug endpoint on http://%s/debug/pprof (expvar at /debug/vars)\n", ln.Addr())
+	go func() {
+		// expvar and pprof both register on http.DefaultServeMux.
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: debug endpoint: %v\n", err)
+		}
+	}()
+}

@@ -8,6 +8,9 @@
 //	mcbench -exp all -parallel 0       # fan runs out across all cores
 //	mcbench -exp fig5 -chaos 42,0.01   # run under deterministic fault injection
 //	mcbench -exp all -deadline 30m     # abort (exit 3) past a wall-clock budget
+//	mcbench -exp fig9 -metrics out.json -series 10ms -lifecycle 1
+//	                                   # ride time-series + lifecycle spans
+//	mcbench -exp all -http :6060       # expvar/pprof for wall-clock profiling
 //	mcbench -list                      # show available experiment ids
 //
 // Every simulated machine is an independent single-threaded system, so
@@ -26,6 +29,7 @@ import (
 	"multiclock/internal/fault"
 	"multiclock/internal/metrics"
 	"multiclock/internal/runner"
+	"multiclock/internal/sim"
 )
 
 func main() {
@@ -38,6 +42,9 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "abort with a non-zero exit if wall-clock runtime exceeds this (0 = no limit)")
 	metricsOut := flag.String("metrics", "", "write a deterministic metrics JSON export for the instrumented experiments (figs. 5, 7-10) to this file")
 	traceEvents := flag.Int("trace-events", 0, "structured trace ring capacity per machine in the metrics export (0 = no event trace)")
+	series := flag.Duration("series", 0, "sample a windowed occupancy time series per instrumented machine on this virtual period (0 = off; requires -metrics)")
+	lifecycleMod := flag.Uint64("lifecycle", 0, "trace per-page lifecycle spans per instrumented machine with this sampling modulus (1 = every page, 0 = off; requires -metrics)")
+	httpAddr := flag.String("http", "", "serve expvar/pprof on this address (e.g. localhost:6060) for wall-clock profiling of long runs")
 	flag.Parse()
 
 	chaos, err := fault.ParseSpec(*chaosSpec)
@@ -77,7 +84,17 @@ func main() {
 	if workers <= 0 {
 		workers = -1 // GOMAXPROCS, resolved by the runner
 	}
-	opt := bench.Options{Quick: *quick, Seed: *seed, Parallel: workers, Chaos: chaos}
+	if (*series > 0 || *lifecycleMod > 0) && *metricsOut == "" {
+		fmt.Fprintln(os.Stderr, "mcbench: -series/-lifecycle ride the metrics export; set -metrics too")
+		os.Exit(2)
+	}
+	if *httpAddr != "" {
+		serveDebug(*httpAddr)
+	}
+	opt := bench.Options{
+		Quick: *quick, Seed: *seed, Parallel: workers, Chaos: chaos,
+		Series: sim.Duration(series.Nanoseconds()), Lifecycle: *lifecycleMod,
+	}
 	var pool *metrics.Pool
 	if *metricsOut != "" {
 		pool = metrics.NewPool(*traceEvents)
@@ -105,8 +122,10 @@ func main() {
 	// aborts the batch: the error prints inline and the rest keep going.
 	failed := 0
 	runner.Stream(workers, os.Stderr, tasks, func(_ int, r runner.TaskResult[string]) {
+		expExperimentsDone.Add(1)
 		if r.Err != nil {
 			failed++
+			expExperimentsFailed.Add(1)
 			fmt.Printf("==== %s ====\nerror: %v\n\n", r.Name, r.Err)
 			return
 		}

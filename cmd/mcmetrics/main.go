@@ -1,7 +1,9 @@
 // mcmetrics inspects the deterministic metrics exports that mcsim -metrics
 // and mcbench -metrics write: it validates a file against the schema and
 // renders a human-readable summary (histogram quantiles, counters, trace
-// tail) or a flat CSV for plotting.
+// tail), a flat CSV for plotting, or — for exports carrying the optional
+// observability sections — per-page lifecycle timelines, ping-pong rankings
+// and the windowed occupancy time series.
 //
 // Usage:
 //
@@ -9,12 +11,18 @@
 //	mcmetrics -validate out.json         # schema check only (CI smoke)
 //	mcmetrics -csv out.json              # histogram buckets as CSV
 //	mcmetrics -run fig10/multiclock@10ms out.json   # one run only
+//	mcmetrics timeline 0x7f0000 out.json # one page's Fig. 4 span walk
+//	mcmetrics timeline 2/0x1000 out.json # page in address space 2
+//	mcmetrics pingpong --top 5 out.json  # worst migration ping-pongers
+//	mcmetrics series out.json            # time-series windows as CSV
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"multiclock/internal/metrics"
@@ -22,56 +30,268 @@ import (
 )
 
 func main() {
-	validateOnly := flag.Bool("validate", false, "schema-check the export and exit (0 = valid)")
-	csv := flag.Bool("csv", false, "print histogram buckets as CSV instead of the summary")
-	runFilter := flag.String("run", "", "restrict output to the run with this label")
-	events := flag.Int("events", 10, "trace events to show per run in the summary")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mcmetrics [-validate|-csv] [-run label] <export.json>")
-		os.Exit(2)
+// run is the testable entry point: argv (without the program name) in,
+// exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "timeline":
+			return cmdTimeline(args[1:], stdout, stderr)
+		case "pingpong":
+			return cmdPingpong(args[1:], stdout, stderr)
+		case "series":
+			return cmdSeries(args[1:], stdout, stderr)
+		}
 	}
-	path := flag.Arg(0)
+	return cmdSummary(args, stdout, stderr)
+}
+
+// loadRuns reads and validates an export, optionally filtered to one label.
+// On failure it reports to stderr and returns nil.
+func loadRuns(path, runFilter string, stderr io.Writer) ([]metrics.RunExport, *metrics.Export) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mcmetrics: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "mcmetrics: %v\n", err)
+		return nil, nil
 	}
 	ex, err := metrics.ReadExport(data)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mcmetrics: %s: %v\n", path, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "mcmetrics: %s: %v\n", path, err)
+		return nil, nil
 	}
-
 	runs := ex.Runs
-	if *runFilter != "" {
+	if runFilter != "" {
 		runs = nil
 		for _, r := range ex.Runs {
-			if r.Label == *runFilter {
+			if r.Label == runFilter {
 				runs = append(runs, r)
 			}
 		}
 		if len(runs) == 0 {
-			fmt.Fprintf(os.Stderr, "mcmetrics: no run labeled %q (have %s)\n", *runFilter, labels(ex.Runs))
-			os.Exit(1)
+			fmt.Fprintf(stderr, "mcmetrics: no run labeled %q (have %s)\n", runFilter, labels(ex.Runs))
+			return nil, nil
 		}
 	}
+	return runs, ex
+}
 
+// cmdSummary is the original flag-driven path: validate, CSV, or summary.
+func cmdSummary(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcmetrics", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	validateOnly := fs.Bool("validate", false, "schema-check the export and exit (0 = valid)")
+	csv := fs.Bool("csv", false, "print histogram buckets as CSV instead of the summary")
+	runFilter := fs.String("run", "", "restrict output to the run with this label")
+	events := fs.Int("events", 10, "trace events to show per run in the summary")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: mcmetrics [-validate|-csv] [-run label] <export.json>")
+		fmt.Fprintln(stderr, "       mcmetrics timeline|pingpong|series [flags] ... <export.json>")
+		return 2
+	}
+	path := fs.Arg(0)
+	runs, ex := loadRuns(path, *runFilter, stderr)
+	if runs == nil {
+		return 1
+	}
 	if *validateOnly {
-		fmt.Printf("%s: valid (version %d, %d runs)\n", path, ex.Version, len(ex.Runs))
-		return
+		fmt.Fprintf(stdout, "%s: valid (version %d, %d runs)\n", path, ex.Version, len(ex.Runs))
+		return 0
 	}
 	if *csv {
-		fmt.Print(metrics.ExportCSV(runs...))
-		return
+		fmt.Fprint(stdout, metrics.ExportCSV(runs...))
+		return 0
 	}
 	for i, r := range runs {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		summarize(r, *events)
+		summarize(stdout, r, *events)
 	}
+	return 0
+}
+
+// cmdTimeline prints one page's lifecycle span walk from each selected run.
+func cmdTimeline(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcmetrics timeline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runFilter := fs.String("run", "", "restrict output to the run with this label")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: mcmetrics timeline [-run label] <[space/]va> <export.json>")
+		return 2
+	}
+	space, anySpace, va, err := parsePageSpec(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "mcmetrics: %v\n", err)
+		return 2
+	}
+	runs, _ := loadRuns(fs.Arg(1), *runFilter, stderr)
+	if runs == nil {
+		return 1
+	}
+	found := 0
+	for _, r := range runs {
+		if r.Lifecycle == nil {
+			continue
+		}
+		for i := range r.Lifecycle.Pages {
+			p := &r.Lifecycle.Pages[i]
+			if p.VA != va || (!anySpace && p.Space != space) {
+				continue
+			}
+			found++
+			fmt.Fprintf(stdout, "== %s  page %d/%#x  (%d migration(s), %d event(s))\n",
+				r.Label, p.Space, p.VA, p.Migrations, len(p.Events))
+			for _, ev := range p.Events {
+				fmt.Fprintf(stdout, "  %14s  %-16s %-16s node %d\n",
+					sim.Duration(ev.At).String(), ev.State, ev.Reason, ev.Node)
+			}
+		}
+	}
+	if found == 0 {
+		fmt.Fprintf(stderr, "mcmetrics: page %s not traced in any selected run (was -lifecycle on and the page sampled?)\n", fs.Arg(0))
+		return 1
+	}
+	return 0
+}
+
+// cmdPingpong ranks traced pages by successful migrations — the pages
+// bouncing between tiers — and prints the top N per run.
+func cmdPingpong(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcmetrics pingpong", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runFilter := fs.String("run", "", "restrict output to the run with this label")
+	top := fs.Int("top", 10, "pages to show per run")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 || *top < 1 {
+		fmt.Fprintln(stderr, "usage: mcmetrics pingpong [-run label] [--top N] <export.json>")
+		return 2
+	}
+	runs, _ := loadRuns(fs.Arg(0), *runFilter, stderr)
+	if runs == nil {
+		return 1
+	}
+	shown := false
+	for _, r := range runs {
+		if r.Lifecycle == nil {
+			continue
+		}
+		shown = true
+		// Exported pages are (space,va)-sorted, so a stable selection sort
+		// by migrations descending inherits the (space,va) tie-break.
+		ranked := make([]*metrics.PageTimeline, 0, len(r.Lifecycle.Pages))
+		for i := range r.Lifecycle.Pages {
+			if r.Lifecycle.Pages[i].Migrations > 0 {
+				ranked = append(ranked, &r.Lifecycle.Pages[i])
+			}
+		}
+		for i := 0; i < len(ranked) && i < *top; i++ {
+			best := i
+			for j := i + 1; j < len(ranked); j++ {
+				if ranked[j].Migrations > ranked[best].Migrations {
+					best = j
+				}
+			}
+			// Rotate (not swap) to keep the (space,va) order among ties.
+			p := ranked[best]
+			copy(ranked[i+1:best+1], ranked[i:best])
+			ranked[i] = p
+		}
+		fmt.Fprintf(stdout, "== %s  (%d traced page(s), %d with migrations)\n",
+			r.Label, len(r.Lifecycle.Pages), len(ranked))
+		if len(ranked) == 0 {
+			fmt.Fprintln(stdout, "  no migrations recorded")
+			continue
+		}
+		fmt.Fprintf(stdout, "  %4s %6s %18s %11s %7s\n", "rank", "space", "va", "migrations", "events")
+		for i := 0; i < len(ranked) && i < *top; i++ {
+			p := ranked[i]
+			fmt.Fprintf(stdout, "  %4d %6d %#18x %11d %7d\n",
+				i+1, p.Space, p.VA, p.Migrations, len(p.Events))
+		}
+	}
+	if !shown {
+		fmt.Fprintln(stderr, "mcmetrics: no run in the export carries a lifecycle section (run with -lifecycle)")
+		return 1
+	}
+	return 0
+}
+
+// cmdSeries flattens the windowed time series to CSV: one row per
+// (window, node), with the window-global deltas and DRAM hit ratio repeated
+// on each row so a plotting tool needs no joins.
+func cmdSeries(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcmetrics series", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runFilter := fs.String("run", "", "restrict output to the run with this label")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: mcmetrics series [-run label] <export.json>")
+		return 2
+	}
+	runs, _ := loadRuns(fs.Arg(0), *runFilter, stderr)
+	if runs == nil {
+		return 1
+	}
+	shown := false
+	fmt.Fprintln(stdout, "run,window,start_ns,end_ns,node,tier,free_frames,low_distance,"+
+		"anon_inactive,anon_active,anon_promote,file_inactive,file_active,file_promote,unevictable,"+
+		"reads_dram,reads_pm,writes_dram,writes_pm,promotions,demotions,migrate_fails,"+
+		"swap_outs,swap_ins,pages_scanned,dram_hit")
+	for _, r := range runs {
+		if r.Series == nil {
+			continue
+		}
+		shown = true
+		for i := range r.Series.Windows {
+			w := &r.Series.Windows[i]
+			for _, n := range w.Nodes {
+				fmt.Fprintf(stdout, "%s,%d,%d,%d,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f\n",
+					r.Label, w.Index, w.Start, w.End, n.Node, n.Tier, n.Free, n.LowDistance,
+					n.AnonInactive, n.AnonActive, n.AnonPromote,
+					n.FileInactive, n.FileActive, n.FilePromote, n.Unevictable,
+					w.ReadsDRAM, w.ReadsPM, w.WritesDRAM, w.WritesPM,
+					w.Promotions, w.Demotions, w.MigrateFails,
+					w.SwapOuts, w.SwapIns, w.PagesScanned, w.DRAMHitRatio())
+			}
+		}
+	}
+	if !shown {
+		fmt.Fprintln(stderr, "mcmetrics: no run in the export carries a series section (run with -series)")
+		return 1
+	}
+	return 0
+}
+
+// parsePageSpec parses "va" or "space/va"; va accepts 0x-prefixed hex or
+// decimal. A bare va matches the page in any address space.
+func parsePageSpec(s string) (space int32, anySpace bool, va uint64, err error) {
+	vaStr := s
+	anySpace = true
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		sp, err := strconv.ParseInt(s[:i], 10, 32)
+		if err != nil || sp < 0 {
+			return 0, false, 0, fmt.Errorf("bad page spec %q: space must be a non-negative integer", s)
+		}
+		space, anySpace, vaStr = int32(sp), false, s[i+1:]
+	}
+	va, err = strconv.ParseUint(vaStr, 0, 64)
+	if err != nil {
+		return 0, false, 0, fmt.Errorf("bad page spec %q: va must be 0x-hex or decimal", s)
+	}
+	return space, anySpace, va, nil
 }
 
 func labels(runs []metrics.RunExport) string {
@@ -82,59 +302,67 @@ func labels(runs []metrics.RunExport) string {
 	return strings.Join(out, ", ")
 }
 
-func summarize(r metrics.RunExport, maxEvents int) {
-	fmt.Printf("== %s  (virtual time %v)\n", r.Label, sim.Duration(r.Now))
+func summarize(stdout io.Writer, r metrics.RunExport, maxEvents int) {
+	fmt.Fprintf(stdout, "== %s  (virtual time %v)\n", r.Label, sim.Duration(r.Now))
 	if len(r.Counters) > 0 {
-		fmt.Println("counters:")
+		fmt.Fprintln(stdout, "counters:")
 		for _, c := range r.Counters {
-			fmt.Printf("  %-28s %12d\n", c.Name, c.Value)
+			fmt.Fprintf(stdout, "  %-28s %12d\n", c.Name, c.Value)
 		}
 	}
 	if len(r.Gauges) > 0 {
-		fmt.Println("gauges:")
+		fmt.Fprintln(stdout, "gauges:")
 		for _, g := range r.Gauges {
-			fmt.Printf("  %-28s last=%d max=%d\n", g.Name, g.Last, g.Max)
+			fmt.Fprintf(stdout, "  %-28s last=%d max=%d\n", g.Name, g.Last, g.Max)
 		}
 	}
 	if len(r.Histograms) > 0 {
-		fmt.Println("histograms:")
-		fmt.Printf("  %-28s %10s %14s %12s %12s %12s\n", "name", "n", "mean", "~p50", "~p99", "max")
+		fmt.Fprintln(stdout, "histograms:")
+		fmt.Fprintf(stdout, "  %-28s %10s %14s %12s %12s %12s\n", "name", "n", "mean", "~p50", "~p99", "max")
 		for _, h := range r.Histograms {
 			mean := int64(0)
 			if h.N > 0 {
 				mean = h.Sum / h.N
 			}
-			fmt.Printf("  %-28s %10d %14d %12d %12d %12d\n",
+			fmt.Fprintf(stdout, "  %-28s %10d %14d %12d %12d %12d\n",
 				h.Name, h.N, mean, quantile(h, 0.5), quantile(h, 0.99), h.Max)
 		}
-		fmt.Println("  (quantiles are log2-bucket upper bounds: exact within 2x)")
+		fmt.Fprintln(stdout, "  (quantiles are log2-bucket upper bounds: exact within 2x)")
 	}
 	if len(r.Vmstat) > 0 {
-		fmt.Println("vmstat:")
+		fmt.Fprintln(stdout, "vmstat:")
 		for _, c := range r.Vmstat {
-			fmt.Printf("  %-28s %12d\n", c.Name, c.Value)
+			fmt.Fprintf(stdout, "  %-28s %12d\n", c.Name, c.Value)
 		}
 	}
+	if s := r.Series; s != nil {
+		fmt.Fprintf(stdout, "series: %d window(s) of %v (see `mcmetrics series`)\n",
+			len(s.Windows), sim.Duration(s.WindowNS))
+	}
+	if l := r.Lifecycle; l != nil {
+		fmt.Fprintf(stdout, "lifecycle: %d traced page(s), sample_mod=%d (see `mcmetrics timeline`, `mcmetrics pingpong`)\n",
+			len(l.Pages), l.SampleMod)
+	}
 	if t := r.Trace; t != nil {
-		fmt.Printf("trace: %d events (capacity %d, %d dropped)\n", len(t.Events), t.Capacity, t.Dropped)
+		fmt.Fprintf(stdout, "trace: %d events (capacity %d, %d dropped)\n", len(t.Events), t.Capacity, t.Dropped)
 		start := len(t.Events) - maxEvents
 		if start < 0 {
 			start = 0
 		}
 		if start > 0 {
-			fmt.Printf("  ... %d earlier events\n", start)
+			fmt.Fprintf(stdout, "  ... %d earlier events\n", start)
 		}
 		for _, ev := range t.Events[start:] {
-			fmt.Printf("  %14s %-10s", sim.Duration(ev.At).String(), ev.Kind)
+			fmt.Fprintf(stdout, "  %14s %-10s", sim.Duration(ev.At).String(), ev.Kind)
 			switch ev.Kind {
 			case "promote", "demote":
-				fmt.Printf(" node %d -> %d, %d page(s)", ev.From, ev.To, ev.Pages)
+				fmt.Fprintf(stdout, " node %d -> %d, %d page(s)", ev.From, ev.To, ev.Pages)
 			case "scan":
-				fmt.Printf(" %s work=%v", ev.Name, sim.Duration(ev.Work))
+				fmt.Fprintf(stdout, " %s work=%v", ev.Name, sim.Duration(ev.Work))
 			case "fault", "hint-fault":
-				fmt.Printf(" va=%#x", ev.VA)
+				fmt.Fprintf(stdout, " va=%#x", ev.VA)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 	}
 }

@@ -9,6 +9,7 @@
 //	mcsim -policy static,nimble,multiclock -workload D -parallel 0
 //	mcsim -policy multiclock -workload A -chaos 42,0.01
 //	mcsim -policy multiclock -workload A -metrics out.json -trace-events 128
+//	mcsim -policy multiclock -workload A -metrics out.json -series 10ms -lifecycle 1
 //
 // With a comma-separated policy list every policy gets its own machine;
 // -parallel N fans them out across goroutines. Each machine is an
@@ -49,6 +50,8 @@ type config struct {
 	chaos       multiclock.FaultConfig
 	metrics     bool
 	traceEvents int
+	series      multiclock.Duration
+	lifecycle   uint64
 	label       string
 }
 
@@ -72,11 +75,17 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "deterministic fault injection as seed,rate (e.g. 42,0.01); empty disables")
 	metricsOut := flag.String("metrics", "", "write a deterministic metrics JSON export to this file")
 	traceEvents := flag.Int("trace-events", 0, "structured trace ring capacity in the metrics export (0 = no event trace)")
+	series := flag.Duration("series", 0, "sample a windowed occupancy time series on this virtual period into the metrics export (0 = off)")
+	lifecycleMod := flag.Uint64("lifecycle", 0, "trace per-page lifecycle spans with this sampling modulus (1 = every page, 0 = off) into the metrics export")
 	flag.Parse()
 
 	chaos, err := multiclock.ParseFaultSpec(*chaosSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+		os.Exit(2)
+	}
+	if (*series > 0 || *lifecycleMod > 0) && *metricsOut == "" {
+		fmt.Fprintln(os.Stderr, "mcsim: -series/-lifecycle ride the metrics export; set -metrics too")
 		os.Exit(2)
 	}
 
@@ -126,7 +135,9 @@ func main() {
 			records: *records, ops: *ops, vertices: *vertices, degree: *degree,
 			record: *record, replay: *replay, replayFast: *replayFast,
 			dram: *dram, pm: *pm, scan: scan, seed: *seed, chaos: chaos,
-			metrics: *metricsOut != "", traceEvents: *traceEvents, label: label,
+			metrics: *metricsOut != "", traceEvents: *traceEvents,
+			series: multiclock.Duration(series.Nanoseconds()), lifecycle: *lifecycleMod,
+			label: label,
 		}
 		slot := &metricsRuns[i]
 		tasks = append(tasks, runner.Task[string]{Name: p, Fn: func() (string, error) {
@@ -189,8 +200,16 @@ func runOne(w io.Writer, cfg config) (*multiclock.MetricsRun, error) {
 	defer sys.Stop()
 
 	var collector *multiclock.Metrics
+	var sampler *multiclock.SeriesSampler
+	var tracer *multiclock.LifecycleTracer
 	if cfg.metrics {
 		collector = sys.EnableMetrics(cfg.traceEvents)
+		if cfg.series > 0 {
+			sampler = sys.EnableTimeSeries(cfg.series)
+		}
+		if cfg.lifecycle > 0 {
+			tracer = sys.EnableLifecycle(multiclock.LifecycleConfig{SampleMod: cfg.lifecycle})
+		}
 	}
 
 	var recorder *tracereplay.Recorder
@@ -252,6 +271,12 @@ func runOne(w io.Writer, cfg config) (*multiclock.MetricsRun, error) {
 	}
 	if collector != nil {
 		run := collector.Run(cfg.label)
+		if sampler != nil {
+			run.Series = sampler.Export()
+		}
+		if tracer != nil {
+			run.Lifecycle = tracer.Export()
+		}
 		return &run, nil
 	}
 	return nil, nil

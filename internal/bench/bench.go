@@ -23,11 +23,13 @@ import (
 
 	"multiclock/internal/core"
 	"multiclock/internal/fault"
+	"multiclock/internal/lifecycle"
 	"multiclock/internal/machine"
 	"multiclock/internal/mem"
 	"multiclock/internal/metrics"
 	"multiclock/internal/policy"
 	"multiclock/internal/sim"
+	"multiclock/internal/timeseries"
 )
 
 // DefaultScanInterval is the promotion-daemon period when none is given:
@@ -57,6 +59,16 @@ type Options struct {
 	// labeled registries for deterministic export. Nil collects nothing
 	// and leaves every simulation untouched.
 	Metrics *metrics.Pool
+	// Series, when positive, additionally samples every instrumented
+	// machine's per-node occupancy and windowed vmstat deltas on this
+	// virtual-time period; the series rides the run's metrics export.
+	// Requires Metrics.
+	Series sim.Duration
+	// Lifecycle, when positive, additionally traces per-page Fig. 4 spans
+	// on every instrumented machine with this deterministic sampling
+	// modulus (1 traces every page); the timelines ride the run's metrics
+	// export. Requires Metrics.
+	Lifecycle uint64
 }
 
 // workers resolves Parallel for runner.Map.
@@ -147,6 +159,10 @@ type scale struct {
 	// must be set for a cell to instrument itself.
 	Metrics       *metrics.Pool
 	MetricsPrefix string
+	// Series and Lifecycle thread the observability knobs through to each
+	// instrumented cell (see Options).
+	Series    sim.Duration
+	Lifecycle uint64
 }
 
 // instrument claims a collector labeled sc.MetricsPrefix+label, binds it to
@@ -156,15 +172,28 @@ func (sc scale) instrument(m *machine.Machine, label string) {
 	if sc.Metrics == nil || sc.MetricsPrefix == "" {
 		return
 	}
-	c := sc.Metrics.Collector(sc.MetricsPrefix + label).Bind(m)
+	full := sc.MetricsPrefix + label
+	c := sc.Metrics.Collector(full).Bind(m)
 	m.SetMetrics(c)
 	m.Attach(c)
+	// The observability layers export at pool-snapshot time (after the
+	// cell's machine has quiesced), so they attach as run decorators.
+	if sc.Series > 0 {
+		sp := timeseries.New(m, sc.Series, 0)
+		sc.Metrics.Decorate(full, func(r *metrics.RunExport) { r.Series = sp.Export() })
+	}
+	if sc.Lifecycle > 0 {
+		tr := lifecycle.New(lifecycle.Config{SampleMod: sc.Lifecycle}).Bind(m)
+		sc.Metrics.Decorate(full, func(r *metrics.RunExport) { r.Lifecycle = tr.Export() })
+	}
 }
 
 func (o Options) scale() scale {
 	sc := o.sizes()
 	sc.Chaos = o.Chaos
 	sc.Metrics = o.Metrics
+	sc.Series = o.Series
+	sc.Lifecycle = o.Lifecycle
 	return sc
 }
 

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"multiclock/internal/metrics"
+	"multiclock/internal/sim"
+)
+
+// runFig10Observed runs the quick Fig. 10 sweep with the full observability
+// stack riding the metrics pool and returns (report text, export JSON).
+func runFig10Observed(t *testing.T, parallel int) (string, []byte) {
+	t.Helper()
+	pool := metrics.NewPool(0)
+	out := Fig10(Options{
+		Quick: true, Seed: 1, Parallel: parallel,
+		Metrics:   pool,
+		Series:    10 * sim.Millisecond,
+		Lifecycle: 64,
+	})
+	data, err := pool.ExportJSON()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return out, data
+}
+
+// TestObservedExportDeterministicAcrossParallelism is the PR's acceptance
+// golden: with the sampler and tracer enabled, both the experiment report
+// and the full metrics export (series and lifecycle sections included) are
+// byte-identical at every parallelism level, because instrumentation is
+// strictly per-machine and sampling is a pure function of page identity.
+func TestObservedExportDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	seqOut, seqJSON := runFig10Observed(t, 1)
+	parOut, parJSON := runFig10Observed(t, 4)
+	if seqOut != parOut {
+		t.Fatal("fig10 report differs across parallelism with observability on")
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Fatal("observability export differs across parallelism")
+	}
+	ex, err := metrics.ReadExport(seqJSON)
+	if err != nil {
+		t.Fatalf("export does not validate: %v", err)
+	}
+	withSeries, withSpans := 0, 0
+	for _, r := range ex.Runs {
+		if r.Series != nil && len(r.Series.Windows) > 0 {
+			withSeries++
+		}
+		if r.Lifecycle != nil {
+			withSpans++
+		}
+	}
+	if withSeries != len(ex.Runs) || withSpans != len(ex.Runs) {
+		t.Fatalf("sections missing: %d/%d series, %d/%d lifecycle",
+			withSeries, len(ex.Runs), withSpans, len(ex.Runs))
+	}
+}
+
+// TestObservabilityDoesNotMoveTheReport: the experiment's stdout with
+// series+lifecycle enabled must equal the uninstrumented report — the
+// observability layer must not shift a single virtual-time result.
+func TestObservabilityDoesNotMoveTheReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	plain := Fig10(Options{Quick: true, Seed: 1, Parallel: 4})
+	observed, _ := runFig10Observed(t, 4)
+	if plain != observed {
+		t.Fatal("enabling observability changed the fig10 report")
+	}
+}
+
+// TestInstrumentRequiresPool: Series/Lifecycle without a pool are inert —
+// scale.instrument must not panic or allocate samplers for uninstrumented
+// cells.
+func TestInstrumentRequiresPool(t *testing.T) {
+	out := Fig2(Options{Quick: true, Seed: 1, Series: 10 * sim.Millisecond, Lifecycle: 1})
+	if !strings.Contains(out, "fig2") && len(out) == 0 {
+		t.Fatal("fig2 with orphan observability flags produced nothing")
+	}
+}

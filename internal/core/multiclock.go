@@ -355,12 +355,18 @@ func (mc *MultiClock) retryPromote(pg *mem.Page) {
 			st.promoteFails++
 			st.nextTry = mc.M.Clock.Now() + sim.Time(mc.cfg.PromoteBackoff<<(st.promoteFails-1))
 			mc.PromoteRequeues++
+			if l := mc.M.Lifecycle; l != nil {
+				l.PromoteRequeued(pg, int(st.promoteFails), mc.M.Clock.Now())
+			}
 			lru.RequeuePromote(pg)
 			mc.M.Vecs[pg.Node].Putback(pg)
 			return
 		}
 		delete(mc.retries, pg)
 		mc.PromoteDrops++
+	}
+	if l := mc.M.Lifecycle; l != nil {
+		l.PromoteDropped(pg, mc.M.Clock.Now())
 	}
 	// Paper: pages that cannot migrate move to the active list of their
 	// current tier (§III-C). ClearPromote already set the flags.
@@ -485,11 +491,17 @@ func (mc *MultiClock) retryDemote(pg *mem.Page) {
 		if int(st.demoteFails) < mc.cfg.DemoteRetryMax {
 			st.demoteFails++
 			mc.DemoteRequeues++
+			if l := mc.M.Lifecycle; l != nil {
+				l.DemoteRequeued(pg, int(st.demoteFails), mc.M.Clock.Now())
+			}
 			mc.M.Vecs[pg.Node].Putback(pg)
 			return
 		}
 		delete(mc.retries, pg)
 		mc.DemoteSwapFallbacks++
+	}
+	if l := mc.M.Lifecycle; l != nil {
+		l.SwapFallback(pg, mc.M.Clock.Now())
 	}
 	mc.evictIsolated(pg)
 }

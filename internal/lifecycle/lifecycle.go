@@ -1,0 +1,298 @@
+// Package lifecycle implements the per-page span tracer: every Fig. 4
+// transition a traced page makes — LRU list movement, promote-candidate
+// selection and decay, migration attempts and their outcomes, retry
+// bookkeeping, eviction and death — is recorded as a virtual-time-stamped
+// span event with a typed reason code.
+//
+// The tracer is purely observational. It installs through
+// machine.SetLifecycle, never mutates pages or lists, and never advances
+// virtual time, so an instrumented run's simulated timeline is identical
+// to an uninstrumented one. Memory is bounded three ways: deterministic
+// page-identity-hash sampling (SampleMod), a cap on traced pages
+// (MaxPages), and a per-page event cap (MaxEventsPerPage). Sampling is a
+// pure function of (space, virtual address), so the same pages are traced
+// in every same-seed run regardless of parallelism.
+package lifecycle
+
+import (
+	"sort"
+
+	"multiclock/internal/lru"
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/metrics"
+	"multiclock/internal/sim"
+)
+
+// Config bounds the tracer's memory.
+type Config struct {
+	// SampleMod traces only pages whose identity hash is 0 mod SampleMod;
+	// 0 or 1 traces every page.
+	SampleMod uint64
+	// MaxPages caps distinct traced pages (default 4096). Later pages are
+	// counted in PagesDropped and their events discarded.
+	MaxPages int
+	// MaxEventsPerPage caps each page's timeline (default 512); events past
+	// the cap are dropped (the head of the timeline is kept, so birth and
+	// the first ladder climb always survive).
+	MaxEventsPerPage int
+}
+
+// DefaultConfig returns the default bounds with sampling off.
+func DefaultConfig() Config {
+	return Config{SampleMod: 1, MaxPages: 4096, MaxEventsPerPage: 512}
+}
+
+// pageKey is the stable page identity: descriptor pointers are reused
+// across free/fault, but (space, va) names the same application page
+// across migrations and even across swap-out/refault.
+type pageKey struct {
+	space int32
+	va    uint64
+}
+
+// pageTrace accumulates one page's timeline. A nil events slice with
+// stub=true marks a page that arrived after MaxPages was hit.
+type pageTrace struct {
+	events     []metrics.SpanEvent
+	migrations int64
+	stub       bool
+	truncated  bool
+}
+
+// Tracer records page lifecycle spans. It implements machine.Lifecycle
+// (and, through it, lru.Hook). Single-threaded, like the machine it binds.
+type Tracer struct {
+	cfg   Config
+	clock *sim.Clock
+	mach  *machine.Machine
+
+	pages map[pageKey]*pageTrace
+	// byPtr remembers each sampled descriptor's identity: the page table
+	// clears pg.Space before the delete/free hooks fire, so end-of-life
+	// events resolve their key through the descriptor. Entries die with
+	// the page (PageFreed / SwappedOut).
+	byPtr         map[*mem.Page]pageKey
+	tracked       int // non-stub entries in pages
+	pagesDropped  int64
+	eventsDropped int64
+}
+
+// New creates a tracer with cfg's bounds (zero fields take defaults).
+func New(cfg Config) *Tracer {
+	def := DefaultConfig()
+	if cfg.SampleMod == 0 {
+		cfg.SampleMod = def.SampleMod
+	}
+	if cfg.MaxPages <= 0 {
+		cfg.MaxPages = def.MaxPages
+	}
+	if cfg.MaxEventsPerPage <= 0 {
+		cfg.MaxEventsPerPage = def.MaxEventsPerPage
+	}
+	return &Tracer{
+		cfg:   cfg,
+		pages: make(map[pageKey]*pageTrace),
+		byPtr: make(map[*mem.Page]pageKey),
+	}
+}
+
+// Bind installs the tracer on the machine (machine.SetLifecycle wires the
+// LRU vec hooks too) and returns it for chaining.
+func (t *Tracer) Bind(m *machine.Machine) *Tracer {
+	t.clock = m.Clock
+	t.mach = m
+	m.SetLifecycle(t)
+	return t
+}
+
+// hashKey is a splitmix64-style mix of the page identity; its low bits are
+// uniform enough that key.hash % SampleMod samples evenly.
+func hashKey(k pageKey) uint64 {
+	x := uint64(uint32(k.space))<<56 ^ k.va
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// sampled reports whether this page identity is traced.
+func (t *Tracer) sampled(k pageKey) bool {
+	return t.cfg.SampleMod <= 1 || hashKey(k)%t.cfg.SampleMod == 0
+}
+
+// keyOf resolves a page's identity: directly while mapped, through the
+// descriptor map once the page table has cleared pg.Space (unmap paths).
+func (t *Tracer) keyOf(pg *mem.Page) (pageKey, bool) {
+	if pg.Space >= 0 {
+		return pageKey{space: pg.Space, va: pg.VA}, true
+	}
+	k, ok := t.byPtr[pg]
+	return k, ok
+}
+
+// trace returns the page's accumulator, creating it within bounds; nil
+// when the page is unsampled, unresolvable, or over the page cap.
+func (t *Tracer) trace(pg *mem.Page) *pageTrace {
+	k, ok := t.keyOf(pg)
+	if !ok || !t.sampled(k) {
+		return nil
+	}
+	t.byPtr[pg] = k
+	pt := t.pages[k]
+	if pt == nil {
+		pt = &pageTrace{}
+		if t.tracked >= t.cfg.MaxPages {
+			pt.stub = true
+			t.pagesDropped++
+		} else {
+			t.tracked++
+		}
+		t.pages[k] = pt
+	}
+	if pt.stub {
+		t.eventsDropped++
+		return nil
+	}
+	return pt
+}
+
+// record appends one span event to the page's timeline.
+func (t *Tracer) record(pg *mem.Page, state lru.State, reason string, node mem.NodeID, now sim.Time) {
+	pt := t.trace(pg)
+	if pt == nil {
+		return
+	}
+	if len(pt.events) >= t.cfg.MaxEventsPerPage {
+		pt.truncated = true
+		t.eventsDropped++
+		return
+	}
+	pt.events = append(pt.events, metrics.SpanEvent{
+		At: int64(now), State: state.String(), Reason: reason, Node: int(node),
+	})
+}
+
+// PageTransition implements lru.Hook: list/state movement with the reason
+// refined from the LRU cause and the states involved.
+func (t *Tracer) PageTransition(pg *mem.Page, node mem.NodeID, from, to lru.State, cause lru.Cause) {
+	now := t.clock.Now()
+	reason := cause.String()
+	switch cause {
+	case lru.CauseAdd:
+		if pg.BornAt == now {
+			reason = "birth"
+		}
+	case lru.CauseDecay:
+		if from == lru.StatePromoteUnref || from == lru.StatePromoteRef {
+			reason = "promote-decay"
+		}
+	case lru.CauseIsolate:
+		switch from {
+		case lru.StatePromoteUnref, lru.StatePromoteRef:
+			reason = "promote-select"
+		case lru.StateInactiveUnref, lru.StateInactiveRef:
+			reason = "demote-select"
+		}
+	case lru.CauseDelete:
+		reason = "unmapped"
+	}
+	t.record(pg, to, reason, node, now)
+}
+
+// MigrationAttempt implements machine.Lifecycle.
+func (t *Tracer) MigrationAttempt(pg *mem.Page, src, dst mem.NodeID, ok bool, now sim.Time) {
+	if !ok {
+		t.record(pg, lru.StateOf(pg), "migrate-fail", src, now)
+		return
+	}
+	pt := t.trace(pg)
+	if pt != nil {
+		pt.migrations++
+	}
+	reason := "migrated"
+	srcTier := t.mach.Mem.Nodes[src].Tier
+	dstTier := t.mach.Mem.Nodes[dst].Tier
+	switch {
+	case dstTier < srcTier:
+		reason = "promoted"
+	case dstTier > srcTier:
+		reason = "demoted"
+	}
+	t.record(pg, lru.StateOf(pg), reason, dst, now)
+}
+
+// PromoteRequeued implements machine.Lifecycle.
+func (t *Tracer) PromoteRequeued(pg *mem.Page, attempt int, now sim.Time) {
+	t.record(pg, lru.StateOf(pg), "promote-requeue", pg.Node, now)
+}
+
+// PromoteDropped implements machine.Lifecycle.
+func (t *Tracer) PromoteDropped(pg *mem.Page, now sim.Time) {
+	t.record(pg, lru.StateOf(pg), "promote-drop", pg.Node, now)
+}
+
+// DemoteRequeued implements machine.Lifecycle.
+func (t *Tracer) DemoteRequeued(pg *mem.Page, attempt int, now sim.Time) {
+	t.record(pg, lru.StateOf(pg), "demote-requeue", pg.Node, now)
+}
+
+// SwapFallback implements machine.Lifecycle.
+func (t *Tracer) SwapFallback(pg *mem.Page, now sim.Time) {
+	t.record(pg, lru.StateOf(pg), "swap-fallback", pg.Node, now)
+}
+
+// SwappedOut implements machine.Lifecycle.
+func (t *Tracer) SwappedOut(pg *mem.Page, now sim.Time) {
+	t.record(pg, lru.StateGone, "swap-out", pg.Node, now)
+	delete(t.byPtr, pg)
+}
+
+// PageFreed implements machine.Lifecycle.
+func (t *Tracer) PageFreed(pg *mem.Page, now sim.Time) {
+	t.record(pg, lru.StateGone, "freed", pg.Node, now)
+	delete(t.byPtr, pg)
+}
+
+// PagesTraced returns the number of pages with recorded timelines.
+func (t *Tracer) PagesTraced() int { return t.tracked }
+
+// Export snapshots the tracer as the wire-format lifecycle section, pages
+// sorted by (space, va). Export does not mutate the tracer and may be
+// called repeatedly.
+func (t *Tracer) Export() *metrics.LifecycleExport {
+	out := &metrics.LifecycleExport{
+		SampleMod:        t.cfg.SampleMod,
+		MaxPages:         t.cfg.MaxPages,
+		MaxEventsPerPage: t.cfg.MaxEventsPerPage,
+		PagesDropped:     t.pagesDropped,
+		EventsDropped:    t.eventsDropped,
+	}
+	keys := make([]pageKey, 0, t.tracked)
+	for k, pt := range t.pages {
+		if !pt.stub {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].space != keys[j].space {
+			return keys[i].space < keys[j].space
+		}
+		return keys[i].va < keys[j].va
+	})
+	for _, k := range keys {
+		pt := t.pages[k]
+		out.Pages = append(out.Pages, metrics.PageTimeline{
+			Space:      k.space,
+			VA:         k.va,
+			Migrations: pt.migrations,
+			Events:     append([]metrics.SpanEvent(nil), pt.events...),
+		})
+	}
+	return out
+}
+
+// compile-time interface check
+var _ machine.Lifecycle = (*Tracer)(nil)

@@ -73,6 +73,9 @@ type Vec struct {
 
 	// Scanned counts pages examined by scanners on this vec.
 	Scanned int64
+
+	// hook, when set, observes every page state transition (see state.go).
+	hook Hook
 }
 
 // NewVec creates the list set for a node.
@@ -143,25 +146,31 @@ func (v *Vec) Add(pg *mem.Page) {
 	if pg.OnList() {
 		panic("lru: Add of page already on a list")
 	}
+	from := StateOf(pg)
 	pg.SetFlags(mem.FlagLRU)
 	pg.ClearFlags(mem.FlagIsolated)
 	v.lists[kindFor(pg)].PushFront(pg)
+	v.emit(pg, from, StateOf(pg), CauseAdd)
 }
 
 // Delete removes the page from its list for unmapping/freeing. Flags other
 // than list-membership bookkeeping are left for the caller.
 func (v *Vec) Delete(pg *mem.Page) {
+	from := StateOf(pg)
 	v.lists[v.KindOf(pg)].Remove(pg)
 	pg.ClearFlags(mem.FlagLRU)
+	v.emit(pg, from, StateOf(pg), CauseDelete)
 }
 
 // Isolate detaches the page for migration, setting FlagIsolated, mirroring
 // isolate_lru_page. The page keeps its state flags so Putback can restore
 // it to the right list (possibly on a different node's vec).
 func (v *Vec) Isolate(pg *mem.Page) {
+	from := StateOf(pg)
 	v.lists[v.KindOf(pg)].Remove(pg)
 	pg.ClearFlags(mem.FlagLRU)
 	pg.SetFlags(mem.FlagIsolated)
+	v.emit(pg, from, StateOf(pg), CauseIsolate)
 }
 
 // Putback returns an isolated page to the list its flags select on this
@@ -174,6 +183,7 @@ func (v *Vec) Putback(pg *mem.Page) {
 	pg.ClearFlags(mem.FlagIsolated)
 	pg.SetFlags(mem.FlagLRU)
 	v.lists[kindFor(pg)].PushFront(pg)
+	v.emit(pg, StateIsolated, StateOf(pg), CausePutback)
 }
 
 // MarkAccessed applies one observed access to the page's LRU state — the
@@ -185,6 +195,13 @@ func (v *Vec) MarkAccessed(pg *mem.Page) {
 	if pg.Flags.Has(mem.FlagIsolated) || !pg.Flags.Has(mem.FlagLRU) {
 		return // in-flight for migration; the access is simply missed
 	}
+	from := StateOf(pg)
+	v.markAccessed(pg)
+	v.emit(pg, from, StateOf(pg), CauseAccess)
+}
+
+// markAccessed is MarkAccessed without the transition hook bracketing.
+func (v *Vec) markAccessed(pg *mem.Page) {
 	switch k := v.KindOf(pg); {
 	case k == Unevictable:
 		// Locked pages don't age.
@@ -246,13 +263,15 @@ func (v *Vec) DecayPromote(pg *mem.Page) bool {
 	}
 	if pg.Flags.Has(mem.FlagReferenced) {
 		// Was accessed during the window (12): clear for the next round.
-		pg.ClearFlags(mem.FlagReferenced)
+		v.spendReferenced(pg)
 		return false
 	}
+	from := StateOf(pg)
 	v.lists[k].Remove(pg)
 	pg.ClearFlags(mem.FlagPromote | mem.FlagReferenced)
 	pg.SetFlags(mem.FlagActive)
 	v.lists[kindFor(pg)].PushFront(pg)
+	v.emit(pg, from, StateOf(pg), CauseDecay)
 	return true
 }
 
@@ -323,9 +342,11 @@ func (v *Vec) Deactivate(pg *mem.Page) {
 	if !k.IsActive() {
 		panic("lru: Deactivate on non-active page")
 	}
+	from := StateOf(pg)
 	v.lists[k].Remove(pg)
 	pg.ClearFlags(mem.FlagActive | mem.FlagReferenced)
 	v.lists[kindFor(pg)].PushFront(pg)
+	v.emit(pg, from, StateOf(pg), CauseDeactivate)
 }
 
 // ActiveRatioLimit returns the maximum allowed active:inactive ratio for a

@@ -116,7 +116,7 @@ func (v *Vec) scanList(k Kind, n int) ScanStats {
 			// a window with no access costs the page its referenced
 			// state, so climbing the ladder requires accesses in
 			// consecutive windows — frequency, not just recency.
-			pg.ClearFlags(mem.FlagReferenced)
+			v.spendReferenced(pg)
 		}
 		if pg.List() == l {
 			// No list transition fired; give the page its rotation so
@@ -172,7 +172,7 @@ func (v *Vec) BalanceActive(ratio float64, budget int) int {
 			v.Scanned++
 			if pg.TestAndClearAccessed() || pg.Flags.Has(mem.FlagReferenced) {
 				// Second chance: stay active but spend the reference.
-				pg.ClearFlags(mem.FlagReferenced)
+				v.spendReferenced(pg)
 				active.MoveToFront(pg)
 				continue
 			}
@@ -232,7 +232,7 @@ func (v *Vec) DemoteCandidates(max int) []*mem.Page {
 			}
 			if pg.Flags.Has(mem.FlagReferenced) {
 				// Software-referenced: spend it, rotate.
-				pg.ClearFlags(mem.FlagReferenced)
+				v.spendReferenced(pg)
 				l.MoveToFront(pg)
 				continue
 			}

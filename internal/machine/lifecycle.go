@@ -1,0 +1,62 @@
+package machine
+
+import (
+	"multiclock/internal/lru"
+	"multiclock/internal/mem"
+	"multiclock/internal/sim"
+)
+
+// Lifecycle observes per-page events that the LRU state machine alone
+// cannot see: migration attempts and their outcomes, policy-level retry
+// bookkeeping (promote/demote requeues, drops, swap fallbacks), and the
+// page's end of life. Together with lru.Hook (which it embeds) a Lifecycle
+// implementation sees every Fig. 4 transition a page makes.
+//
+// All methods run synchronously on the simulation thread and must be
+// purely observational — no page mutation, no virtual-time advance.
+type Lifecycle interface {
+	lru.Hook
+
+	// MigrationAttempt fires once per attempted migration, successful or
+	// not. src is the node the page was on when the attempt started.
+	MigrationAttempt(pg *mem.Page, src, dst mem.NodeID, ok bool, now sim.Time)
+
+	// PromoteRequeued fires when a failed promotion is parked for a
+	// backoff retry (attempt counts prior failures, starting at 1).
+	PromoteRequeued(pg *mem.Page, attempt int, now sim.Time)
+	// PromoteDropped fires when a promotion candidate is abandoned — out
+	// of retries, retries disabled, or the policy has no retry path.
+	PromoteDropped(pg *mem.Page, now sim.Time)
+	// DemoteRequeued fires when a failed demotion is parked for retry.
+	DemoteRequeued(pg *mem.Page, attempt int, now sim.Time)
+	// SwapFallback fires when a demotion gives up on migration and falls
+	// back to swapping the page out.
+	SwapFallback(pg *mem.Page, now sim.Time)
+
+	// SwappedOut fires when the page is written to backing store and its
+	// frame freed.
+	SwappedOut(pg *mem.Page, now sim.Time)
+	// PageFreed fires when the page is unmapped and its frame freed.
+	PageFreed(pg *mem.Page, now sim.Time)
+}
+
+// SetLifecycle installs (or, with nil, removes) the lifecycle observer on
+// the machine and every LRU vec. Like SetMetrics, a nil sink leaves every
+// path exactly as without the instrumentation layer.
+func (m *Machine) SetLifecycle(l Lifecycle) {
+	m.Lifecycle = l
+	for _, v := range m.Vecs {
+		if l == nil {
+			v.SetHook(nil)
+		} else {
+			v.SetHook(l)
+		}
+	}
+}
+
+// lifecycleMigration reports a migration attempt to the lifecycle sink.
+func (m *Machine) lifecycleMigration(pg *mem.Page, src, dst mem.NodeID, ok bool) {
+	if m.Lifecycle != nil {
+		m.Lifecycle.MigrationAttempt(pg, src, dst, ok, m.Clock.Now())
+	}
+}

@@ -96,6 +96,11 @@ type Machine struct {
 	// leaves every path exactly as without the telemetry layer.
 	Metrics Telemetry
 
+	// Lifecycle is the optional per-page span sink (install via
+	// SetLifecycle, which also wires the LRU vec hooks). Nil leaves every
+	// path exactly as without the instrumentation layer.
+	Lifecycle Lifecycle
+
 	// observers is the attach-ordered registry; observer is the compiled
 	// fan-out target the hot path dispatches to (nil when empty).
 	observers []*obsSlot
@@ -409,6 +414,9 @@ func (m *Machine) Unmap(as *pagetable.AddressSpace, vpn pagetable.VPN) {
 		if m.cache != nil {
 			m.cache.Invalidate(pg)
 		}
+		if m.Lifecycle != nil {
+			m.Lifecycle.PageFreed(pg, m.Clock.Now())
+		}
 		m.Policy.PageFreed(pg)
 		m.Mem.Free(pg)
 		return
@@ -424,6 +432,9 @@ func (m *Machine) Unmap(as *pagetable.AddressSpace, vpn pagetable.VPN) {
 	if m.cache != nil {
 		m.cache.Invalidate(pg)
 	}
+	if m.Lifecycle != nil {
+		m.Lifecycle.PageFreed(pg, m.Clock.Now())
+	}
 	m.Policy.PageFreed(pg)
 	m.Mem.Free(pg)
 }
@@ -435,12 +446,14 @@ func (m *Machine) Unmap(as *pagetable.AddressSpace, vpn pagetable.VPN) {
 func (m *Machine) MigratePage(pg *mem.Page, dst mem.NodeID) bool {
 	if pg.Flags.Has(mem.FlagUnevictable) || !pg.OnList() {
 		m.Mem.Counters.MigrateFails++
+		m.lifecycleMigration(pg, pg.Node, dst, false)
 		return false
 	}
 	src := pg.Node
 	m.Vecs[src].Isolate(pg)
 	res := m.Mem.Migrate(pg, dst)
 	if !res.OK {
+		m.lifecycleMigration(pg, src, dst, false)
 		m.Vecs[src].Putback(pg)
 		return false
 	}
@@ -456,11 +469,13 @@ func (m *Machine) MigratePage(pg *mem.Page, dst mem.NodeID) bool {
 func (m *Machine) MigrateIsolated(pg *mem.Page, dst mem.NodeID) bool {
 	if pg.Flags.Has(mem.FlagUnevictable) {
 		m.Mem.Counters.MigrateFails++
+		m.lifecycleMigration(pg, pg.Node, dst, false)
 		return false
 	}
 	src := pg.Node
 	res := m.Mem.Migrate(pg, dst)
 	if !res.OK {
+		m.lifecycleMigration(pg, src, dst, false)
 		return false
 	}
 	m.Vecs[dst].Putback(pg)
@@ -479,6 +494,7 @@ func (m *Machine) finishMigration(pg *mem.Page, src, dst mem.NodeID, res mem.Mig
 	if m.Metrics != nil {
 		m.Metrics.Migration(src, dst, pg.Frames(), res.Cost, m.Clock.Now())
 	}
+	m.lifecycleMigration(pg, src, dst, true)
 	if m.observer != nil {
 		m.observer.OnMigrate(pg, src, dst, m.Clock.Now())
 	}
@@ -538,6 +554,9 @@ func (m *Machine) SwapOut(pg *mem.Page) {
 	m.ChargeTax(m.Mem.Lat.SwapOut * sim.Duration(pg.Frames()))
 	if m.cache != nil {
 		m.cache.Invalidate(pg)
+	}
+	if m.Lifecycle != nil {
+		m.Lifecycle.SwappedOut(pg, m.Clock.Now())
 	}
 	m.Policy.PageFreed(pg)
 	m.Mem.Free(pg)

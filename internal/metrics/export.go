@@ -34,6 +34,12 @@ type RunExport struct {
 	// Trace is the structured event ring, oldest-first; omitted when event
 	// tracing was disabled.
 	Trace *TraceExport `json:"trace,omitempty"`
+	// Series is the windowed time-series section (internal/timeseries);
+	// omitted when sampling was disabled.
+	Series *SeriesExport `json:"series,omitempty"`
+	// Lifecycle is the per-page span section (internal/lifecycle); omitted
+	// when span tracing was disabled.
+	Lifecycle *LifecycleExport `json:"lifecycle,omitempty"`
 }
 
 // NamedValue is one counter.
@@ -262,6 +268,16 @@ func (run *RunExport) validate() error {
 			if ev.Kind == "" {
 				return fmt.Errorf("trace event %d has no kind", i)
 			}
+		}
+	}
+	if s := run.Series; s != nil {
+		if err := s.validate(); err != nil {
+			return err
+		}
+	}
+	if l := run.Lifecycle; l != nil {
+		if err := l.validate(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -69,6 +69,52 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramBucketBoundaries pins the log2 bucketing rule at every edge:
+// zero, one, and each power of two with its neighbours. Bucket k holds
+// [2^(k-1), 2^k-1], so 2^k-1 is the last value of bucket k and 2^k the first
+// of bucket k+1 — the exported LE bound must match exactly.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bucketOf := func(v int64) int {
+		var h Histogram
+		h.Observe(v)
+		for k, c := range h.counts {
+			if c != 0 {
+				return k
+			}
+		}
+		t.Fatalf("sample %d landed in no bucket", v)
+		return -1
+	}
+	type edge struct {
+		v      int64
+		bucket int
+	}
+	cases := []edge{{0, 0}, {1, 1}}
+	for k := uint(1); k <= 62; k++ {
+		p := int64(1) << k
+		cases = append(cases,
+			edge{p - 1, int(k)},     // last value of bucket k
+			edge{p, int(k) + 1},     // first value of bucket k+1
+			edge{p + 1, int(k) + 1}, // still bucket k+1
+		)
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Fatalf("Observe(%d) landed in bucket %d, want %d", c.v, got, c.bucket)
+		}
+		// The bucket's exported upper bound must cover the value…
+		if ub := bucketUpper(c.bucket); ub < c.v {
+			t.Fatalf("bucket %d upper bound %d < sample %d", c.bucket, ub, c.v)
+		}
+		// …and the previous bucket's must not.
+		if c.bucket > 0 {
+			if lb := bucketUpper(c.bucket - 1); lb >= c.v {
+				t.Fatalf("bucket %d lower edge: previous bound %d >= sample %d", c.bucket, lb, c.v)
+			}
+		}
+	}
+}
+
 func TestBucketUpperCaps(t *testing.T) {
 	if bucketUpper(0) != 0 || bucketUpper(1) != 1 || bucketUpper(3) != 7 {
 		t.Fatal("small bucket bounds")

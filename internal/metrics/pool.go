@@ -13,6 +13,7 @@ type Pool struct {
 	mu          sync.Mutex
 	traceEvents int
 	collectors  map[string]*Collector
+	decorators  map[string][]func(*RunExport)
 }
 
 // NewPool creates a pool whose collectors each get an event ring of
@@ -42,13 +43,33 @@ func (p *Pool) Len() int {
 	return len(p.collectors)
 }
 
+// Decorate registers a function that amends label's run at snapshot time
+// (Runs). The observability layers use it to attach their export sections
+// lazily — a cell registers the decorator while it owns the machine, and
+// the tracer/sampler is read only after the machine has quiesced.
+func (p *Pool) Decorate(label string, fn func(*RunExport)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.collectors[label]; !ok {
+		panic(fmt.Sprintf("metrics: Decorate of unclaimed pool label %q", label))
+	}
+	if p.decorators == nil {
+		p.decorators = make(map[string][]func(*RunExport))
+	}
+	p.decorators[label] = append(p.decorators[label], fn)
+}
+
 // Runs snapshots every collector as a labeled run, sorted by label.
 func (p *Pool) Runs() []RunExport {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	runs := make([]RunExport, 0, len(p.collectors))
 	for _, label := range sortedNames(p.collectors) {
-		runs = append(runs, p.collectors[label].Run(label))
+		run := p.collectors[label].Run(label)
+		for _, fn := range p.decorators[label] {
+			fn(&run)
+		}
+		runs = append(runs, run)
 	}
 	return runs
 }

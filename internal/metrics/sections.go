@@ -1,0 +1,217 @@
+package metrics
+
+import "fmt"
+
+// This file defines the two optional per-run export sections added by the
+// observability layer: per-page lifecycle span timelines (internal/lifecycle)
+// and windowed time-series samples (internal/timeseries). The wire types
+// live here so schema validation stays in one package; the producers import
+// metrics, never the reverse.
+
+// SpanEvent is one step of a page's walk through the Fig. 4 state machine:
+// at virtual time At the page entered State on Node, because of Reason.
+type SpanEvent struct {
+	At     int64  `json:"at"`
+	State  string `json:"state"`
+	Reason string `json:"reason"`
+	Node   int    `json:"node"`
+}
+
+// PageTimeline is one traced page's complete (sampled) event history,
+// oldest-first. Migrations counts successful migrations, the ping-pong
+// ranking key.
+type PageTimeline struct {
+	Space      int32       `json:"space"`
+	VA         uint64      `json:"va"`
+	Migrations int64       `json:"migrations"`
+	Events     []SpanEvent `json:"events"`
+}
+
+// LifecycleExport is the per-page span section of a run.
+type LifecycleExport struct {
+	// SampleMod is the deterministic sampling modulus: a page is traced iff
+	// hash(space,va) % SampleMod == 0 (1 traces everything).
+	SampleMod uint64 `json:"sample_mod"`
+	// MaxPages and MaxEventsPerPage are the memory bounds the tracer ran
+	// with; PagesDropped / EventsDropped count what the bounds discarded.
+	MaxPages         int   `json:"max_pages"`
+	MaxEventsPerPage int   `json:"max_events_per_page"`
+	PagesDropped     int64 `json:"pages_dropped,omitempty"`
+	EventsDropped    int64 `json:"events_dropped,omitempty"`
+	// Pages holds the traced timelines sorted by (space, va).
+	Pages []PageTimeline `json:"pages"`
+}
+
+// NodeSample is one node's occupancy snapshot at a window boundary.
+type NodeSample struct {
+	Node int    `json:"node"`
+	Tier string `json:"tier"`
+	// Free is the node's free frames; LowDistance is free minus the low
+	// watermark (negative means the node is under pressure).
+	Free        int `json:"free_frames"`
+	LowDistance int `json:"low_distance"`
+	// Per-list populations (lru.Kind order).
+	AnonInactive int `json:"anon_inactive"`
+	AnonActive   int `json:"anon_active"`
+	AnonPromote  int `json:"anon_promote"`
+	FileInactive int `json:"file_inactive"`
+	FileActive   int `json:"file_active"`
+	FilePromote  int `json:"file_promote"`
+	Unevictable  int `json:"unevictable"`
+}
+
+// WindowExport is one sampling window: end-of-window per-node occupancy
+// plus machine-wide vmstat deltas over the window. Rates are left to
+// renderers (delta ÷ window length) so the wire format stays all-integer.
+type WindowExport struct {
+	Index int   `json:"index"`
+	Start int64 `json:"start_ns"`
+	End   int64 `json:"end_ns"`
+
+	Nodes []NodeSample `json:"nodes"`
+
+	ReadsDRAM    int64 `json:"reads_dram"`
+	ReadsPM      int64 `json:"reads_pm"`
+	WritesDRAM   int64 `json:"writes_dram"`
+	WritesPM     int64 `json:"writes_pm"`
+	Promotions   int64 `json:"promotions"`
+	Demotions    int64 `json:"demotions"`
+	MigrateFails int64 `json:"migrate_fails"`
+	SwapOuts     int64 `json:"swap_outs"`
+	SwapIns      int64 `json:"swap_ins"`
+	PagesScanned int64 `json:"pages_scanned"`
+}
+
+// SeriesExport is the windowed time-series section of a run.
+type SeriesExport struct {
+	// WindowNS is the sampling period in virtual nanoseconds.
+	WindowNS int64 `json:"window_ns"`
+	// DroppedWindows counts windows discarded after the cap was reached.
+	DroppedWindows int64          `json:"dropped_windows,omitempty"`
+	Windows        []WindowExport `json:"windows"`
+}
+
+// validate checks the lifecycle section: positive bounds, (space,va)-sorted
+// unique pages, and per-page time-ordered events with non-empty states and
+// reasons.
+func (le *LifecycleExport) validate() error {
+	if le.SampleMod < 1 {
+		return fmt.Errorf("lifecycle: sample_mod %d < 1", le.SampleMod)
+	}
+	if le.MaxPages < 1 || le.MaxEventsPerPage < 1 {
+		return fmt.Errorf("lifecycle: non-positive bounds (max_pages=%d, max_events_per_page=%d)",
+			le.MaxPages, le.MaxEventsPerPage)
+	}
+	if le.PagesDropped < 0 || le.EventsDropped < 0 {
+		return fmt.Errorf("lifecycle: negative drop counts")
+	}
+	if len(le.Pages) > le.MaxPages {
+		return fmt.Errorf("lifecycle: %d pages over max_pages %d", len(le.Pages), le.MaxPages)
+	}
+	for i, p := range le.Pages {
+		if i > 0 {
+			prev := le.Pages[i-1]
+			if prev.Space > p.Space || (prev.Space == p.Space && prev.VA >= p.VA) {
+				return fmt.Errorf("lifecycle: pages not sorted by unique (space, va) at index %d", i)
+			}
+		}
+		if p.Migrations < 0 {
+			return fmt.Errorf("lifecycle: page %d/%#x: negative migrations", p.Space, p.VA)
+		}
+		if len(p.Events) > le.MaxEventsPerPage {
+			return fmt.Errorf("lifecycle: page %d/%#x: %d events over max %d",
+				p.Space, p.VA, len(p.Events), le.MaxEventsPerPage)
+		}
+		at := int64(-1)
+		for j, ev := range p.Events {
+			if ev.At < at {
+				return fmt.Errorf("lifecycle: page %d/%#x: events out of time order at %d", p.Space, p.VA, j)
+			}
+			at = ev.At
+			if ev.State == "" || ev.Reason == "" {
+				return fmt.Errorf("lifecycle: page %d/%#x: event %d missing state or reason", p.Space, p.VA, j)
+			}
+		}
+	}
+	return nil
+}
+
+// validate checks the series section: positive window, contiguous
+// monotonically indexed windows, and non-negative deltas.
+func (se *SeriesExport) validate() error {
+	if se.WindowNS <= 0 {
+		return fmt.Errorf("series: non-positive window_ns %d", se.WindowNS)
+	}
+	if se.DroppedWindows < 0 {
+		return fmt.Errorf("series: negative dropped_windows")
+	}
+	end := int64(-1)
+	for i, w := range se.Windows {
+		if w.Index != i {
+			return fmt.Errorf("series: window %d carries index %d", i, w.Index)
+		}
+		if i == 0 {
+			if w.Start < 0 {
+				return fmt.Errorf("series: first window starts before time zero")
+			}
+		} else if w.Start != end {
+			return fmt.Errorf("series: window %d starts at %d, previous ended at %d", i, w.Start, end)
+		}
+		if w.End <= w.Start {
+			return fmt.Errorf("series: window %d is empty or inverted (%d..%d)", i, w.Start, w.End)
+		}
+		end = w.End
+		for _, d := range [...]int64{
+			w.ReadsDRAM, w.ReadsPM, w.WritesDRAM, w.WritesPM, w.Promotions,
+			w.Demotions, w.MigrateFails, w.SwapOuts, w.SwapIns, w.PagesScanned,
+		} {
+			if d < 0 {
+				return fmt.Errorf("series: window %d has a negative delta", i)
+			}
+		}
+		for j, n := range w.Nodes {
+			if j > 0 && w.Nodes[j-1].Node >= n.Node {
+				return fmt.Errorf("series: window %d nodes not sorted by unique id", i)
+			}
+			if n.Tier == "" {
+				return fmt.Errorf("series: window %d node %d missing tier", i, n.Node)
+			}
+			if n.Free < 0 {
+				return fmt.Errorf("series: window %d node %d: negative free frames", i, n.Node)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateSections checks the optional observability sections in isolation
+// (either may be nil). Producers' tests use it to assert their exports are
+// schema-valid without assembling a full export document.
+func ValidateSections(le *LifecycleExport, se *SeriesExport) error {
+	if le != nil {
+		if err := le.validate(); err != nil {
+			return err
+		}
+	}
+	if se != nil {
+		if err := se.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Accesses returns the window's total application memory accesses.
+func (w *WindowExport) Accesses() int64 {
+	return w.ReadsDRAM + w.ReadsPM + w.WritesDRAM + w.WritesPM
+}
+
+// DRAMHitRatio returns the fraction of the window's accesses served from
+// DRAM (0 when the window saw no accesses).
+func (w *WindowExport) DRAMHitRatio() float64 {
+	total := w.Accesses()
+	if total == 0 {
+		return 0
+	}
+	return float64(w.ReadsDRAM+w.WritesDRAM) / float64(total)
+}

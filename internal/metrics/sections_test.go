@@ -1,0 +1,104 @@
+package metrics
+
+import "testing"
+
+func validLifecycle() *LifecycleExport {
+	return &LifecycleExport{
+		SampleMod: 1, MaxPages: 4, MaxEventsPerPage: 8,
+		Pages: []PageTimeline{
+			{Space: 0, VA: 0x1000, Migrations: 1, Events: []SpanEvent{
+				{At: 0, State: "inactive-unref", Reason: "birth", Node: 0},
+				{At: 5, State: "inactive-ref", Reason: "access", Node: 0},
+			}},
+			{Space: 0, VA: 0x2000, Events: []SpanEvent{
+				{At: 3, State: "inactive-unref", Reason: "birth", Node: 0},
+			}},
+		},
+	}
+}
+
+func validSeries() *SeriesExport {
+	return &SeriesExport{
+		WindowNS: 1000,
+		Windows: []WindowExport{
+			{Index: 0, Start: 0, End: 1000, ReadsDRAM: 3, ReadsPM: 1,
+				Nodes: []NodeSample{{Node: 0, Tier: "DRAM", Free: 10}, {Node: 1, Tier: "PM", Free: 20}}},
+			{Index: 1, Start: 1000, End: 1500, WritesDRAM: 2,
+				Nodes: []NodeSample{{Node: 0, Tier: "DRAM", Free: 9}, {Node: 1, Tier: "PM", Free: 20}}},
+		},
+	}
+}
+
+func TestSectionValidatorsAcceptValid(t *testing.T) {
+	if err := ValidateSections(validLifecycle(), validSeries()); err != nil {
+		t.Fatalf("valid sections rejected: %v", err)
+	}
+	if err := ValidateSections(nil, nil); err != nil {
+		t.Fatalf("absent sections rejected: %v", err)
+	}
+}
+
+func TestLifecycleValidatorCatches(t *testing.T) {
+	cases := []struct {
+		name   string
+		break_ func(*LifecycleExport)
+	}{
+		{"zero sample_mod", func(le *LifecycleExport) { le.SampleMod = 0 }},
+		{"zero max_pages", func(le *LifecycleExport) { le.MaxPages = 0 }},
+		{"pages out of order", func(le *LifecycleExport) { le.Pages[0], le.Pages[1] = le.Pages[1], le.Pages[0] }},
+		{"duplicate page", func(le *LifecycleExport) { le.Pages[1].VA = le.Pages[0].VA }},
+		{"negative migrations", func(le *LifecycleExport) { le.Pages[0].Migrations = -1 }},
+		{"events out of time order", func(le *LifecycleExport) { le.Pages[0].Events[1].At = -1 }},
+		{"empty state", func(le *LifecycleExport) { le.Pages[0].Events[0].State = "" }},
+		{"empty reason", func(le *LifecycleExport) { le.Pages[0].Events[0].Reason = "" }},
+		{"over event cap", func(le *LifecycleExport) { le.MaxEventsPerPage = 1 }},
+		{"over page cap", func(le *LifecycleExport) { le.MaxPages = 1 }},
+	}
+	for _, c := range cases {
+		le := validLifecycle()
+		c.break_(le)
+		if err := ValidateSections(le, nil); err == nil {
+			t.Fatalf("%s: corruption not caught", c.name)
+		}
+	}
+}
+
+func TestSeriesValidatorCatches(t *testing.T) {
+	cases := []struct {
+		name   string
+		break_ func(*SeriesExport)
+	}{
+		{"zero window", func(se *SeriesExport) { se.WindowNS = 0 }},
+		{"bad index", func(se *SeriesExport) { se.Windows[1].Index = 7 }},
+		{"gap between windows", func(se *SeriesExport) { se.Windows[1].Start = 1200 }},
+		{"empty window", func(se *SeriesExport) { se.Windows[1].End = se.Windows[1].Start }},
+		{"negative delta", func(se *SeriesExport) { se.Windows[0].Promotions = -2 }},
+		{"nodes out of order", func(se *SeriesExport) {
+			w := &se.Windows[0]
+			w.Nodes[0], w.Nodes[1] = w.Nodes[1], w.Nodes[0]
+		}},
+		{"missing tier", func(se *SeriesExport) { se.Windows[0].Nodes[0].Tier = "" }},
+		{"negative free", func(se *SeriesExport) { se.Windows[0].Nodes[1].Free = -1 }},
+	}
+	for _, c := range cases {
+		se := validSeries()
+		c.break_(se)
+		if err := ValidateSections(nil, se); err == nil {
+			t.Fatalf("%s: corruption not caught", c.name)
+		}
+	}
+}
+
+func TestWindowDerivedStats(t *testing.T) {
+	w := WindowExport{ReadsDRAM: 6, ReadsPM: 2, WritesDRAM: 1, WritesPM: 1}
+	if w.Accesses() != 10 {
+		t.Fatalf("accesses = %d, want 10", w.Accesses())
+	}
+	if got := w.DRAMHitRatio(); got != 0.7 {
+		t.Fatalf("dram hit = %v, want 0.7", got)
+	}
+	var empty WindowExport
+	if empty.DRAMHitRatio() != 0 {
+		t.Fatal("empty window hit ratio must be 0")
+	}
+}

@@ -99,6 +99,10 @@ func (nb *Nimble) scan(node mem.NodeID) {
 		if nb.promoteIsolated(pg) {
 			nb.Promotions++
 		} else {
+			// No retry path in Nimble: a failed promotion is abandoned.
+			if l := m.Lifecycle; l != nil {
+				l.PromoteDropped(pg, m.Clock.Now())
+			}
 			m.Vecs[pg.Node].Putback(pg)
 		}
 	}

@@ -90,7 +90,8 @@ func TestMultipleObservers(t *testing.T) {
 	sys := NewSystem(Config{DRAMPages: 256, PMPages: 1024, ScanInterval: 5 * Millisecond, Seed: 11})
 	defer sys.Stop()
 	col := sys.EnableMetrics(0)
-	tracker := sys.TrackPromotions(100 * Millisecond)
+	tracker := sys.NewPromotionTracker(100 * Millisecond)
+	sys.Attach(tracker)
 	store := sys.NewKVStore(3000)
 	client := sys.NewYCSB(store, 3000)
 	client.Load()

@@ -29,12 +29,14 @@ import (
 	"multiclock/internal/fault"
 	"multiclock/internal/graph"
 	"multiclock/internal/kvstore"
+	"multiclock/internal/lifecycle"
 	"multiclock/internal/machine"
 	"multiclock/internal/mem"
 	"multiclock/internal/metrics"
 	"multiclock/internal/pagecache"
 	"multiclock/internal/pagetable"
 	"multiclock/internal/sim"
+	"multiclock/internal/timeseries"
 	"multiclock/internal/trace"
 	"multiclock/internal/ycsb"
 )
@@ -146,8 +148,9 @@ func ParseFaultSpec(s string) (FaultConfig, error) { return fault.ParseSpec(s) }
 
 // System is a running simulated machine plus its tiering policy.
 type System struct {
-	m   *machine.Machine
-	pol machine.Policy
+	m        *machine.Machine
+	pol      machine.Policy
+	samplers []*timeseries.Sampler
 }
 
 // NewSystem builds a machine per cfg with the policy attached and its
@@ -231,6 +234,9 @@ func (s *System) FaultReport() string {
 func (s *System) Stop() {
 	if st, ok := s.pol.(machine.Stopper); ok {
 		st.Stop()
+	}
+	for _, sp := range s.samplers {
+		sp.Stop()
 	}
 }
 
@@ -321,18 +327,6 @@ func (s *System) NewPromotionTracker(window Duration) *PromotionTracker {
 	return trace.NewPromotionTracker(window).Bind(s.m)
 }
 
-// TrackPromotions installs a promotion tracker with the given window and
-// returns it.
-//
-// Deprecated: use NewPromotionTracker with Attach, which composes with
-// other observers and can be detached. TrackPromotions now attaches
-// additively (it no longer replaces existing observers).
-func (s *System) TrackPromotions(window Duration) *PromotionTracker {
-	t := s.NewPromotionTracker(window)
-	s.Attach(t)
-	return t
-}
-
 // EnableMetrics installs a metrics collector on the system and returns it.
 // traceEvents sizes the structured event ring (0 disables event tracing;
 // counters and histograms still record). The collector observes passively —
@@ -350,6 +344,39 @@ func (s *System) EnableMetrics(traceEvents int) *Metrics {
 // Metrics.Run) as the canonical deterministic JSON document.
 func ExportMetricsJSON(runs ...metrics.RunExport) ([]byte, error) {
 	return metrics.ExportJSON(runs...)
+}
+
+// Observability re-exports: per-page lifecycle span tracing and windowed
+// time-series sampling.
+type (
+	// LifecycleTracer records every Fig. 4 transition of sampled pages as
+	// virtual-time-stamped span events with typed reason codes.
+	LifecycleTracer = lifecycle.Tracer
+	// LifecycleConfig bounds the tracer (sampling modulus, page and
+	// per-page event caps).
+	LifecycleConfig = lifecycle.Config
+	// SeriesSampler snapshots per-node occupancy and windowed vmstat
+	// deltas on a fixed virtual-time period.
+	SeriesSampler = timeseries.Sampler
+)
+
+// EnableLifecycle installs a per-page span tracer on the system and returns
+// it. Zero config fields take defaults (trace every page, 4096 pages, 512
+// events per page). Like EnableMetrics, the tracer observes passively: the
+// simulated timeline is unchanged. Attach the export to a MetricsRun via
+// run.Lifecycle = tracer.Export().
+func (s *System) EnableLifecycle(cfg LifecycleConfig) *LifecycleTracer {
+	return lifecycle.New(cfg).Bind(s.m)
+}
+
+// EnableTimeSeries starts a windowed occupancy sampler on the system's
+// virtual clock and returns it. Attach the export to a MetricsRun via
+// run.Series = sampler.Export(). Stop the sampler (or the system) before
+// draining the clock if sampling should end earlier.
+func (s *System) EnableTimeSeries(window Duration) *SeriesSampler {
+	sp := timeseries.New(s.m, window, 0)
+	s.samplers = append(s.samplers, sp)
+	return sp
 }
 
 // File-backed memory (re-exports): files whose cached pages ride the file

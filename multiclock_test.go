@@ -101,10 +101,11 @@ func TestGraphViaFacade(t *testing.T) {
 	}
 }
 
-func TestTrackPromotions(t *testing.T) {
+func TestPromotionTracker(t *testing.T) {
 	sys := NewSystem(Config{DRAMPages: 256, PMPages: 1024, ScanInterval: 5 * Millisecond})
 	defer sys.Stop()
-	tr := sys.TrackPromotions(100 * Millisecond)
+	tr := sys.NewPromotionTracker(100 * Millisecond)
+	sys.Attach(tr)
 	store := sys.NewKVStore(3000)
 	client := sys.NewYCSB(store, 3000)
 	client.Load()

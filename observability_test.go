@@ -1,0 +1,136 @@
+package multiclock
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"multiclock/internal/metrics"
+)
+
+// ycsbObserved drives workload A with the full observability stack
+// (metrics + time series + lifecycle spans) and returns the assembled run.
+func ycsbObserved(seed uint64) (metrics.RunExport, *System) {
+	sys := NewSystem(Config{DRAMPages: 256, PMPages: 1024, ScanInterval: 5 * Millisecond, Seed: seed})
+	col := sys.EnableMetrics(0)
+	sampler := sys.EnableTimeSeries(10 * Millisecond)
+	tracer := sys.EnableLifecycle(LifecycleConfig{SampleMod: 4})
+	store := sys.NewKVStore(3000)
+	client := sys.NewYCSB(store, 3000)
+	client.Load()
+	client.Run(WorkloadA, 50000)
+	sys.Stop()
+	run := col.Run("ycsb-a")
+	run.Series = sampler.Export()
+	run.Lifecycle = tracer.Export()
+	return run, sys
+}
+
+// TestObservabilityDisabledIsNoOp is the PR's core invariant: enabling the
+// span tracer and the windowed sampler must not move the simulation — the
+// virtual timeline and every vmstat counter match an uninstrumented run
+// bit for bit.
+func TestObservabilityDisabledIsNoOp(t *testing.T) {
+	plain := NewSystem(Config{DRAMPages: 256, PMPages: 1024, ScanInterval: 5 * Millisecond, Seed: 3})
+	store := plain.NewKVStore(3000)
+	client := plain.NewYCSB(store, 3000)
+	client.Load()
+	client.Run(WorkloadA, 50000)
+	plain.Stop()
+
+	_, inst := ycsbObserved(3)
+	if plain.Elapsed() != inst.Elapsed() {
+		t.Fatalf("observability moved virtual time: %v vs %v", plain.Elapsed(), inst.Elapsed())
+	}
+	var names []string
+	var want []int64
+	plain.Counters().Each(func(name string, v int64) {
+		names = append(names, name)
+		want = append(want, v)
+	})
+	i := 0
+	inst.Counters().Each(func(name string, v int64) {
+		if name != names[i] || v != want[i] {
+			t.Fatalf("counter %s: %d instrumented vs %d plain", name, v, want[i])
+		}
+		i++
+	})
+}
+
+// TestObservabilityExportGolden: two same-seed instrumented runs must export
+// byte-identical JSON including the new sections, the document must
+// validate, and both sections must carry data.
+func TestObservabilityExportGolden(t *testing.T) {
+	run1, _ := ycsbObserved(7)
+	run2, _ := ycsbObserved(7)
+	b1, err := ExportMetricsJSON(run1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ExportMetricsJSON(run2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same-seed observability exports differ")
+	}
+	if !strings.Contains(string(b1), `"series"`) || !strings.Contains(string(b1), `"lifecycle"`) {
+		t.Fatal("export is missing the observability sections")
+	}
+	ex, err := metrics.ReadExport(b1)
+	if err != nil {
+		t.Fatalf("export does not validate: %v", err)
+	}
+	r := ex.Runs[0]
+	if r.Series == nil || len(r.Series.Windows) == 0 {
+		t.Fatal("series section empty")
+	}
+	if r.Lifecycle == nil || len(r.Lifecycle.Pages) == 0 {
+		t.Fatal("lifecycle section empty")
+	}
+	// The workload is oversubscribed, so traced pages must include real
+	// tier flow: at least one page with a successful migration.
+	var migrated bool
+	for _, p := range r.Lifecycle.Pages {
+		if p.Migrations > 0 {
+			migrated = true
+			break
+		}
+	}
+	if !migrated {
+		t.Fatal("no traced page migrated on an oversubscribed multiclock system")
+	}
+	// Windowed deltas must reconcile with the run's cumulative vmstat.
+	var promos int64
+	for _, w := range r.Series.Windows {
+		promos += w.Promotions
+	}
+	var total int64
+	for _, c := range r.Vmstat {
+		if c.Name == "promotions" {
+			total = c.Value
+		}
+	}
+	if promos != total {
+		t.Fatalf("windowed promotions %d != cumulative %d", promos, total)
+	}
+}
+
+// TestLifecycleSectionOmittedWhenOff: a run without the new sections must
+// serialize exactly as before this PR (no "series"/"lifecycle" keys), so old
+// goldens remain byte-stable.
+func TestLifecycleSectionOmittedWhenOff(t *testing.T) {
+	sys := NewSystem(Config{DRAMPages: 256, PMPages: 1024, Seed: 5})
+	defer sys.Stop()
+	col := sys.EnableMetrics(0)
+	store := sys.NewKVStore(1000)
+	client := sys.NewYCSB(store, 1000)
+	client.Load()
+	b, err := ExportMetricsJSON(col.Run("plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"series"`) || strings.Contains(string(b), `"lifecycle"`) {
+		t.Fatal("disabled observability leaked into the export")
+	}
+}

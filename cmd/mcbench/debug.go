@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
@@ -17,25 +18,51 @@ var (
 	expExperimentsDone   = expvar.NewInt("mcbench.experiments_done")
 	expExperimentsFailed = expvar.NewInt("mcbench.experiments_failed")
 	expStartUnixNano     = expvar.NewInt("mcbench.start_unix_nano")
+	// expDebugServeFailures counts post-bind serve failures of the debug
+	// endpoint itself (distinct from the silent http.ErrServerClosed of a
+	// clean end-of-run shutdown).
+	expDebugServeFailures = expvar.NewInt("mcbench.debug_serve_failures")
 )
 
-// serveDebug starts the opt-in expvar/pprof endpoint on addr. Long full-scale
-// batches are single-process and CPU-bound; this is the hook for profiling
-// them from outside (go tool pprof http://addr/debug/pprof/profile) without
-// instrumenting the run. Failure to bind is fatal: a user who asked for the
-// endpoint should not silently profile nothing.
-func serveDebug(addr string) {
-	expStartUnixNano.Set(time.Now().UnixNano())
+// startDebug binds the expvar/pprof endpoint on addr and serves it in the
+// background. It returns the bound address and a stop function that closes
+// the listener and waits for the serve loop to exit. A clean stop surfaces
+// no error (http.Serve returns http.ErrServerClosed); any other serve
+// failure after a successful bind is reported to stderr and counted on
+// expvar, so a mid-run endpoint death is distinguishable from end-of-run
+// shutdown.
+func startDebug(addr string) (net.Addr, func(), error) {
 	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	// expvar and pprof both register on http.DefaultServeMux.
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			expDebugServeFailures.Add(1)
+			fmt.Fprintf(os.Stderr, "mcbench: debug endpoint failed: %v\n", err)
+		}
+	}()
+	stop := func() {
+		srv.Close()
+		<-done
+	}
+	return ln.Addr(), stop, nil
+}
+
+// serveDebug is the CLI entry: failure to bind is fatal — a user who asked
+// for the endpoint should not silently profile nothing. The returned stop
+// function closes the endpoint cleanly at end-of-run.
+func serveDebug(addr string) (stop func()) {
+	expStartUnixNano.Set(time.Now().UnixNano())
+	bound, stop, err := startDebug(addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcbench: -http %s: %v\n", addr, err)
 		os.Exit(2)
 	}
-	fmt.Fprintf(os.Stderr, "mcbench: debug endpoint on http://%s/debug/pprof (expvar at /debug/vars)\n", ln.Addr())
-	go func() {
-		// expvar and pprof both register on http.DefaultServeMux.
-		if err := http.Serve(ln, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "mcbench: debug endpoint: %v\n", err)
-		}
-	}()
+	fmt.Fprintf(os.Stderr, "mcbench: debug endpoint on http://%s/debug/pprof (expvar at /debug/vars)\n", bound)
+	return stop
 }

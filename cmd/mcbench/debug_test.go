@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+)
+
+// TestStartDebugStopsCleanly pins the -http endpoint lifecycle: it serves
+// while running, a clean end-of-run stop is not counted as a serve
+// failure, and the listener is actually released — the pre-fix code leaked
+// it for the life of the process.
+func TestStartDebugStopsCleanly(t *testing.T) {
+	addr, stop, err := startDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		stop()
+		t.Fatalf("endpoint not serving: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		stop()
+		t.Fatalf("/debug/vars: status %d", resp.StatusCode)
+	}
+
+	before := expDebugServeFailures.Value()
+	stop() // blocks until the serve loop has exited
+	if got := expDebugServeFailures.Value(); got != before {
+		t.Fatalf("clean stop was counted as a serve failure (%d -> %d)", before, got)
+	}
+
+	// The port must be free again immediately.
+	ln, err := net.Listen("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("listener leaked after stop: %v", err)
+	}
+	ln.Close()
+
+	// And the endpoint must be restartable on the same address.
+	_, stop2, err := startDebug(addr.String())
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	stop2()
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"multiclock/internal/bench"
+	"multiclock/internal/cliutil"
 	"multiclock/internal/fault"
 	"multiclock/internal/metrics"
 	"multiclock/internal/runner"
@@ -45,6 +46,9 @@ func main() {
 	series := flag.Duration("series", 0, "sample a windowed occupancy time series per instrumented machine on this virtual period (0 = off; requires -metrics)")
 	lifecycleMod := flag.Uint64("lifecycle", 0, "trace per-page lifecycle spans per instrumented machine with this sampling modulus (1 = every page, 0 = off; requires -metrics)")
 	httpAddr := flag.String("http", "", "serve expvar/pprof on this address (e.g. localhost:6060) for wall-clock profiling of long runs")
+	benchOut := flag.String("bench-out", "", "run the simulator perf suite and write its JSON report (pages/sec, ns/access per workload) to this file")
+	benchCompare := flag.String("bench-compare", "", "with -bench-out: compare against this baseline BENCH_*.json and exit 1 on regression")
+	benchTolerance := flag.Float64("bench-tolerance", 5, "with -bench-compare: allowed slowdown factor vs the baseline before failing")
 	flag.Parse()
 
 	chaos, err := fault.ParseSpec(*chaosSpec)
@@ -67,6 +71,29 @@ func main() {
 		})
 	}
 
+	if err := cliutil.ValidateExportFlags(*series, *lifecycleMod, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(cliutil.ExitUsage)
+	}
+
+	if *benchOut != "" {
+		// Perf-suite mode: measure the simulator itself. Runs are
+		// sequential by construction (wall-clock numbers need the machine
+		// to themselves); -quick selects the small grid.
+		stopDebug := func() {}
+		if *httpAddr != "" {
+			stopDebug = serveDebug(*httpAddr)
+		}
+		code := runPerfSuite(bench.Options{Quick: *quick, Seed: *seed},
+			*benchOut, *benchCompare, *benchTolerance)
+		stopDebug()
+		os.Exit(code)
+	}
+	if *benchCompare != "" {
+		fmt.Fprintln(os.Stderr, "mcbench: -bench-compare requires -bench-out")
+		os.Exit(2)
+	}
+
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
 		for _, n := range bench.Names() {
@@ -84,12 +111,9 @@ func main() {
 	if workers <= 0 {
 		workers = -1 // GOMAXPROCS, resolved by the runner
 	}
-	if (*series > 0 || *lifecycleMod > 0) && *metricsOut == "" {
-		fmt.Fprintln(os.Stderr, "mcbench: -series/-lifecycle ride the metrics export; set -metrics too")
-		os.Exit(2)
-	}
+	stopDebug := func() {}
 	if *httpAddr != "" {
-		serveDebug(*httpAddr)
+		stopDebug = serveDebug(*httpAddr)
 	}
 	opt := bench.Options{
 		Quick: *quick, Seed: *seed, Parallel: workers, Chaos: chaos,
@@ -138,10 +162,12 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcbench: writing metrics: %v\n", err)
+			stopDebug()
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "metrics: %d run(s) written to %s\n", pool.Len(), *metricsOut)
 	}
+	stopDebug()
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "mcbench: %d of %d experiments failed\n", failed, len(tasks))
 		os.Exit(1)

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"multiclock/internal/bench"
+)
+
+// runPerfSuite executes the simulator perf suite (-bench-out), writes the
+// JSON report, and optionally enforces a throughput floor against a
+// checked-in baseline (-bench-compare). Returns the process exit code; a
+// regression is a loud failure, never a silent pass.
+func runPerfSuite(opt bench.Options, outPath, comparePath string, tolerance float64) int {
+	rep := bench.RunPerf(opt)
+	data, err := bench.MarshalPerf(rep)
+	if err == nil {
+		err = os.WriteFile(outPath, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: writing perf report: %v\n", err)
+		return 1
+	}
+	fmt.Print(bench.FormatPerf(rep))
+	fmt.Fprintf(os.Stderr, "perf: report written to %s\n", outPath)
+	if comparePath == "" {
+		return 0
+	}
+	baseData, err := os.ReadFile(comparePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: reading perf baseline: %v\n", err)
+		return 1
+	}
+	base, err := bench.ParsePerf(baseData)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: perf baseline %s: %v\n", comparePath, err)
+		return 1
+	}
+	if violations := bench.ComparePerf(rep, base, tolerance); len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "mcbench: PERF REGRESSION against baseline %s:\n", comparePath)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  - %s\n", v)
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "perf: throughput within %.1fx of baseline %s\n", tolerance, comparePath)
+	return 0
+}

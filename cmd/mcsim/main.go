@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"multiclock"
+	"multiclock/internal/cliutil"
 	"multiclock/internal/runner"
 	"multiclock/internal/tracereplay"
 )
@@ -84,9 +85,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
 		os.Exit(2)
 	}
-	if (*series > 0 || *lifecycleMod > 0) && *metricsOut == "" {
-		fmt.Fprintln(os.Stderr, "mcsim: -series/-lifecycle ride the metrics export; set -metrics too")
-		os.Exit(2)
+	if err := cliutil.ValidateExportFlags(*series, *lifecycleMod, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(cliutil.ExitUsage)
 	}
 
 	scan := multiclock.Duration(100 * 1e6)

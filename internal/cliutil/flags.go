@@ -1,0 +1,29 @@
+// Package cliutil holds flag-validation rules shared by the command-line
+// front-ends (mcsim, mcbench), so the same bad flag combination fails with
+// the same exit code and the same message no matter which binary saw it.
+package cliutil
+
+import (
+	"errors"
+	"time"
+)
+
+// ExitUsage is the exit code every CLI uses for an invalid flag
+// combination.
+const ExitUsage = 2
+
+// errExportFlags is the canonical message for requesting the series or
+// lifecycle instrumentation without a metrics export to carry it. The CLIs
+// print it verbatim (no program-name prefix) so scripts can match one
+// string across binaries.
+var errExportFlags = errors.New("-series/-lifecycle ride the metrics export; set -metrics too")
+
+// ValidateExportFlags checks the -series/-lifecycle/-metrics combination.
+// Both instrumentation flags only surface through the metrics JSON export,
+// so either without -metrics is a usage error.
+func ValidateExportFlags(series time.Duration, lifecycleMod uint64, metricsOut string) error {
+	if (series > 0 || lifecycleMod > 0) && metricsOut == "" {
+		return errExportFlags
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package cliutil
+
+import (
+	"bytes"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestValidateExportFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		series    time.Duration
+		lifecycle uint64
+		metrics   string
+		wantErr   bool
+	}{
+		{"nothing", 0, 0, "", false},
+		{"metrics only", 0, 0, "out.json", false},
+		{"series with metrics", 10 * time.Millisecond, 0, "out.json", false},
+		{"lifecycle with metrics", 0, 1, "out.json", false},
+		{"series without metrics", 10 * time.Millisecond, 0, "", true},
+		{"lifecycle without metrics", 0, 1, "", true},
+		{"both without metrics", 10 * time.Millisecond, 1, "", true},
+	}
+	for _, c := range cases {
+		err := ValidateExportFlags(c.series, c.lifecycle, c.metrics)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: got err=%v, want error=%v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// buildCLI compiles one command into dir; the test working directory is
+// inside the module, so import paths resolve.
+func buildCLI(t *testing.T, dir, pkg, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func runCLI(t *testing.T, bin string, args ...string) (code int, stderr string) {
+	t.Helper()
+	var errBuf bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", bin, args, err)
+	}
+	return code, errBuf.String()
+}
+
+// TestCLIsFailIdentically proves mcsim and mcbench reject the same bad
+// -series/-lifecycle combinations with the same exit code AND the same
+// message, byte for byte — scripts should be able to match one string no
+// matter which binary produced it.
+func TestCLIsFailIdentically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds both CLI binaries")
+	}
+	dir := t.TempDir()
+	mcsim := buildCLI(t, dir, "multiclock/cmd/mcsim", "mcsim")
+	mcbench := buildCLI(t, dir, "multiclock/cmd/mcbench", "mcbench")
+
+	combos := [][]string{
+		{"-series", "10ms"},
+		{"-lifecycle", "1"},
+		{"-series", "10ms", "-lifecycle", "1"},
+	}
+	for _, extra := range combos {
+		simCode, simMsg := runCLI(t, mcsim, extra...)
+		benchCode, benchMsg := runCLI(t, mcbench, append([]string{"-exp", "fig5", "-quick"}, extra...)...)
+		if simCode != ExitUsage || benchCode != ExitUsage {
+			t.Errorf("%v: exit codes mcsim=%d mcbench=%d, want both %d", extra, simCode, benchCode, ExitUsage)
+		}
+		if simMsg != benchMsg {
+			t.Errorf("%v: messages differ\n  mcsim:   %q\n  mcbench: %q", extra, simMsg, benchMsg)
+		}
+		if simMsg == "" {
+			t.Errorf("%v: expected a usage message on stderr, got none", extra)
+		}
+	}
+
+	// The flag error must win over everything else mcbench might do first
+	// (experiment listing, the perf suite), so the combination fails the
+	// same way regardless of the other flags on the line.
+	code, msg := runCLI(t, mcbench, "-series", "10ms")
+	if code != ExitUsage || msg == "" {
+		t.Errorf("mcbench -series without -exp: exit=%d stderr=%q, want usage failure", code, msg)
+	}
+}

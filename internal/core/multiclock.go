@@ -132,6 +132,15 @@ type MultiClock struct {
 	// MinIntervalSeen records the shortest interval the adaptive
 	// extension reached (zero when never adapted downward).
 	MinIntervalSeen sim.Duration
+
+	// Reusable candidate buffers so every daemon wakeup is allocation
+	// free. promoteBuf and demoteBuf must stay distinct: demoteFrom nests
+	// inside kpromoted's candidate iteration (promoteIsolated →
+	// makeRoomInDRAM → demoteFrom), so one shared buffer would clobber
+	// the outer loop. orderBuf serves the WriteBias reorder only.
+	promoteBuf []*mem.Page
+	demoteBuf  []*mem.Page
+	orderBuf   []*mem.Page
 }
 
 // New returns a MULTI-CLOCK policy with the given configuration.
@@ -270,7 +279,8 @@ func (mc *MultiClock) kpromoted(node mem.NodeID) int {
 	mc.ScanTax(stats)
 
 	tier := m.Mem.Nodes[node].Tier
-	candidates := vec.CollectPromote(-1)
+	candidates := vec.AppendPromote(mc.promoteBuf[:0], -1)
+	mc.promoteBuf = candidates[:0]
 	if m.Metrics != nil {
 		m.Metrics.QueueDepth("promote_queue_depth", len(candidates), m.Clock.Now())
 	}
@@ -292,7 +302,7 @@ func (mc *MultiClock) kpromoted(node mem.NodeID) int {
 	if mc.cfg.WriteBias {
 		// §VII extension: promote dirty pages first so PM writes are the
 		// accesses most likely to move to DRAM.
-		ordered := make([]*mem.Page, 0, len(candidates))
+		ordered := mc.orderBuf[:0]
 		for _, pg := range candidates {
 			if pg.Flags.Has(mem.FlagDirty) {
 				ordered = append(ordered, pg)
@@ -303,6 +313,7 @@ func (mc *MultiClock) kpromoted(node mem.NodeID) int {
 				ordered = append(ordered, pg)
 			}
 		}
+		mc.orderBuf = ordered[:0]
 		candidates = ordered
 	}
 
@@ -434,9 +445,9 @@ func (mc *MultiClock) demoteFrom(node mem.NodeID, extra int) {
 	}
 
 	now := m.Clock.Now()
-	var candidates []*mem.Page
+	candidates := mc.demoteBuf[:0]
 	if mc.lastDemote[node] == now && now != 0 {
-		candidates = vec.DemoteCandidatesCold(need)
+		candidates = vec.AppendDemoteCandidatesCold(candidates, need)
 	} else {
 		mc.lastDemote[node] = now
 		ratio := lru.ActiveRatioLimit(n.Frames)
@@ -446,7 +457,7 @@ func (mc *MultiClock) demoteFrom(node mem.NodeID, extra int) {
 		for round := 0; round < mc.cfg.DemoteRounds && len(candidates) < need; round++ {
 			moved := vec.BalanceActive(ratio, mc.cfg.ScanBatch)
 			m.Mem.Counters.PagesScanned += int64(moved)
-			candidates = append(candidates, vec.DemoteCandidates(need-len(candidates))...)
+			candidates = vec.AppendDemoteCandidates(candidates, need-len(candidates))
 		}
 	}
 
@@ -474,6 +485,7 @@ func (mc *MultiClock) demoteFrom(node mem.NodeID, extra int) {
 		}
 		delete(mc.retries, pg)
 	}
+	mc.demoteBuf = candidates[:0]
 }
 
 // retryDemote returns a demotion candidate whose downward migration failed

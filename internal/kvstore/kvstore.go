@@ -216,9 +216,7 @@ func (s *Store) freeItem(ref itemRef) {
 // touchItem performs the data accesses of reading or writing the item:
 // itemTouches cache-line transfers per page of the item.
 func (s *Store) touchItem(ref itemRef, write bool) {
-	for i := pagetable.VPN(0); i < pagetable.VPN(ref.npages); i++ {
-		s.m.AccessN(s.as, ref.vpn+i, write, s.itemTouches)
-	}
+	s.m.AccessRange(s.as, ref.vpn, int(ref.npages), write, s.itemTouches)
 }
 
 // Get looks the key up, touching the bucket page and, on a hit, the item's

@@ -146,31 +146,31 @@ func (v *Vec) Add(pg *mem.Page) {
 	if pg.OnList() {
 		panic("lru: Add of page already on a list")
 	}
-	from := StateOf(pg)
+	from := v.preState(pg)
 	pg.SetFlags(mem.FlagLRU)
 	pg.ClearFlags(mem.FlagIsolated)
 	v.lists[kindFor(pg)].PushFront(pg)
-	v.emit(pg, from, StateOf(pg), CauseAdd)
+	v.emit(pg, from, CauseAdd)
 }
 
 // Delete removes the page from its list for unmapping/freeing. Flags other
 // than list-membership bookkeeping are left for the caller.
 func (v *Vec) Delete(pg *mem.Page) {
-	from := StateOf(pg)
+	from := v.preState(pg)
 	v.lists[v.KindOf(pg)].Remove(pg)
 	pg.ClearFlags(mem.FlagLRU)
-	v.emit(pg, from, StateOf(pg), CauseDelete)
+	v.emit(pg, from, CauseDelete)
 }
 
 // Isolate detaches the page for migration, setting FlagIsolated, mirroring
 // isolate_lru_page. The page keeps its state flags so Putback can restore
 // it to the right list (possibly on a different node's vec).
 func (v *Vec) Isolate(pg *mem.Page) {
-	from := StateOf(pg)
+	from := v.preState(pg)
 	v.lists[v.KindOf(pg)].Remove(pg)
 	pg.ClearFlags(mem.FlagLRU)
 	pg.SetFlags(mem.FlagIsolated)
-	v.emit(pg, from, StateOf(pg), CauseIsolate)
+	v.emit(pg, from, CauseIsolate)
 }
 
 // Putback returns an isolated page to the list its flags select on this
@@ -183,7 +183,7 @@ func (v *Vec) Putback(pg *mem.Page) {
 	pg.ClearFlags(mem.FlagIsolated)
 	pg.SetFlags(mem.FlagLRU)
 	v.lists[kindFor(pg)].PushFront(pg)
-	v.emit(pg, StateIsolated, StateOf(pg), CausePutback)
+	v.emit(pg, StateIsolated, CausePutback)
 }
 
 // MarkAccessed applies one observed access to the page's LRU state — the
@@ -195,9 +195,9 @@ func (v *Vec) MarkAccessed(pg *mem.Page) {
 	if pg.Flags.Has(mem.FlagIsolated) || !pg.Flags.Has(mem.FlagLRU) {
 		return // in-flight for migration; the access is simply missed
 	}
-	from := StateOf(pg)
+	from := v.preState(pg)
 	v.markAccessed(pg)
-	v.emit(pg, from, StateOf(pg), CauseAccess)
+	v.emit(pg, from, CauseAccess)
 }
 
 // markAccessed is MarkAccessed without the transition hook bracketing.
@@ -266,12 +266,12 @@ func (v *Vec) DecayPromote(pg *mem.Page) bool {
 		v.spendReferenced(pg)
 		return false
 	}
-	from := StateOf(pg)
+	from := v.preState(pg)
 	v.lists[k].Remove(pg)
 	pg.ClearFlags(mem.FlagPromote | mem.FlagReferenced)
 	pg.SetFlags(mem.FlagActive)
 	v.lists[kindFor(pg)].PushFront(pg)
-	v.emit(pg, from, StateOf(pg), CauseDecay)
+	v.emit(pg, from, CauseDecay)
 	return true
 }
 
@@ -342,11 +342,11 @@ func (v *Vec) Deactivate(pg *mem.Page) {
 	if !k.IsActive() {
 		panic("lru: Deactivate on non-active page")
 	}
-	from := StateOf(pg)
+	from := v.preState(pg)
 	v.lists[k].Remove(pg)
 	pg.ClearFlags(mem.FlagActive | mem.FlagReferenced)
 	v.lists[kindFor(pg)].PushFront(pg)
-	v.emit(pg, from, StateOf(pg), CauseDeactivate)
+	v.emit(pg, from, CauseDeactivate)
 }
 
 // ActiveRatioLimit returns the maximum allowed active:inactive ratio for a

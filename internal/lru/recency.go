@@ -87,21 +87,26 @@ func (v *Vec) ScanCycleRecency(batch int) ScanStats {
 // the paper contrasts with MULTI-CLOCK's two-touch promote list. At most
 // budget pages are examined.
 func (v *Vec) CollectActiveReferenced(max, budget int) []*mem.Page {
-	var out []*mem.Page
+	return v.AppendActiveReferenced(nil, max, budget)
+}
+
+// AppendActiveReferenced is CollectActiveReferenced appending into buf.
+func (v *Vec) AppendActiveReferenced(buf []*mem.Page, max, budget int) []*mem.Page {
+	base := len(buf)
 	for _, k := range [...]Kind{ActiveAnon, ActiveFile} {
 		l := &v.lists[k]
 		pg := l.Front()
-		for pg != nil && budget > 0 && len(out) < max {
+		for pg != nil && budget > 0 && len(buf)-base < max {
 			next := pg.Next()
 			budget--
 			v.Scanned++
 			if pg.TestAndClearAccessed() || pg.Flags.Has(mem.FlagReferenced) {
 				pg.ClearFlags(mem.FlagReferenced)
 				v.Isolate(pg)
-				out = append(out, pg)
+				buf = append(buf, pg)
 			}
 			pg = next
 		}
 	}
-	return out
+	return buf
 }

@@ -1,10 +1,6 @@
 package lru
 
-import (
-	"sort"
-
-	"multiclock/internal/mem"
-)
+import "multiclock/internal/mem"
 
 // ScanStats summarizes one scanner pass over a vec.
 type ScanStats struct {
@@ -54,7 +50,8 @@ func (v *Vec) ScanCycle(batch int) ScanStats {
 	// near-empty, and the discarded remainder could leave budget unspent.
 	var quotas [Unevictable]int
 	assigned := 0
-	order := make([]Kind, 0, Unevictable)
+	var order [Unevictable]Kind // populated lists, most populated first
+	no := 0
 	for k := Kind(0); k < Unevictable; k++ {
 		if lens[k] == 0 {
 			continue
@@ -65,12 +62,20 @@ func (v *Vec) ScanCycle(batch int) ScanStats {
 		}
 		quotas[k] = q
 		assigned += q
-		order = append(order, k)
+		// Stable insertion sort by descending length: ties keep kind
+		// order, matching the previous sort.SliceStable without its
+		// allocations (this runs every daemon wakeup).
+		i := no
+		for i > 0 && lens[order[i-1]] < lens[k] {
+			order[i] = order[i-1]
+			i--
+		}
+		order[i] = k
+		no++
 	}
-	sort.SliceStable(order, func(i, j int) bool { return lens[order[i]] > lens[order[j]] })
 	for rem := batch - assigned; rem > 0; {
 		gave := false
-		for _, k := range order {
+		for _, k := range order[:no] {
 			if rem == 0 {
 				break
 			}
@@ -139,19 +144,25 @@ func (v *Vec) scanList(k Kind, n int) ScanStats {
 // candidate, and all selected pages are promoted in the same run (§III-B).
 // Pass max < 0 to take everything.
 func (v *Vec) CollectPromote(max int) []*mem.Page {
-	var out []*mem.Page
+	return v.AppendPromote(nil, max)
+}
+
+// AppendPromote is CollectPromote appending into buf, so daemons that run
+// every wakeup can reuse one candidate buffer instead of allocating.
+func (v *Vec) AppendPromote(buf []*mem.Page, max int) []*mem.Page {
+	base := len(buf)
 	for _, k := range [...]Kind{PromoteAnon, PromoteFile} {
 		l := &v.lists[k]
 		for !l.Empty() {
-			if max >= 0 && len(out) >= max {
-				return out
+			if max >= 0 && len(buf)-base >= max {
+				return buf
 			}
 			pg := l.Back()
 			v.Isolate(pg)
-			out = append(out, pg)
+			buf = append(buf, pg)
 		}
 	}
-	return out
+	return buf
 }
 
 // BalanceActive enforces the active:inactive ratio limit (√(10·n):1,
@@ -189,22 +200,27 @@ func (v *Vec) BalanceActive(ratio float64, budget int) int {
 // instant, where no application access could have re-referenced anything
 // since the last aging pass.
 func (v *Vec) DemoteCandidatesCold(max int) []*mem.Page {
-	var out []*mem.Page
+	return v.AppendDemoteCandidatesCold(nil, max)
+}
+
+// AppendDemoteCandidatesCold is DemoteCandidatesCold appending into buf.
+func (v *Vec) AppendDemoteCandidatesCold(buf []*mem.Page, max int) []*mem.Page {
+	base := len(buf)
 	for _, k := range [...]Kind{InactiveAnon, InactiveFile} {
-		for pg := v.lists[k].Back(); pg != nil && len(out) < max; {
+		for pg := v.lists[k].Back(); pg != nil && len(buf)-base < max; {
 			prev := pg.Prev()
 			v.Scanned++
 			if !pg.Accessed && !pg.Flags.Has(mem.FlagReferenced) {
 				v.Isolate(pg)
-				out = append(out, pg)
+				buf = append(buf, pg)
 			}
 			pg = prev
 		}
-		if len(out) >= max {
+		if len(buf)-base >= max {
 			break
 		}
 	}
-	return out
+	return buf
 }
 
 // DemoteCandidates scans the inactive tails for cold pages and isolates up
@@ -213,10 +229,15 @@ func (v *Vec) DemoteCandidatesCold(max int) []*mem.Page {
 // instead, exactly as shrink_inactive_list keeps referenced pages (§III-C).
 // The scan examines at most one full pass over each inactive list.
 func (v *Vec) DemoteCandidates(max int) []*mem.Page {
-	var out []*mem.Page
+	return v.AppendDemoteCandidates(nil, max)
+}
+
+// AppendDemoteCandidates is DemoteCandidates appending into buf.
+func (v *Vec) AppendDemoteCandidates(buf []*mem.Page, max int) []*mem.Page {
+	base := len(buf)
 	for _, k := range [...]Kind{InactiveAnon, InactiveFile} {
 		l := &v.lists[k]
-		for budget := l.Len(); budget > 0 && len(out) < max; budget-- {
+		for budget := l.Len(); budget > 0 && len(buf)-base < max; budget-- {
 			pg := l.Back()
 			if pg == nil {
 				break
@@ -237,11 +258,11 @@ func (v *Vec) DemoteCandidates(max int) []*mem.Page {
 				continue
 			}
 			v.Isolate(pg)
-			out = append(out, pg)
+			buf = append(buf, pg)
 		}
-		if len(out) >= max {
+		if len(buf)-base >= max {
 			break
 		}
 	}
-	return out
+	return buf
 }

@@ -122,9 +122,25 @@ type Hook interface {
 // SetHook installs (or, with nil, removes) the transition observer.
 func (v *Vec) SetHook(h Hook) { v.hook = h }
 
+// preState snapshots the page's state for a later emit. With no hook
+// attached it skips the flag decode entirely — state bracketing is pure
+// observability, and the access fast path must not pay for an observer
+// that is not there.
+func (v *Vec) preState(pg *mem.Page) State {
+	if v.hook == nil {
+		return StateGone
+	}
+	return StateOf(pg)
+}
+
 // emit reports a state change to the hook, suppressing self-transitions.
-func (v *Vec) emit(pg *mem.Page, from, to State, cause Cause) {
-	if v.hook != nil && from != to {
+// from must come from preState on the same vec; the post-state is derived
+// here so hookless vecs never compute it.
+func (v *Vec) emit(pg *mem.Page, from State, cause Cause) {
+	if v.hook == nil {
+		return
+	}
+	if to := StateOf(pg); from != to {
 		v.hook.PageTransition(pg, v.Node, from, to, cause)
 	}
 }
@@ -136,7 +152,7 @@ func (v *Vec) spendReferenced(pg *mem.Page) {
 	if !pg.Flags.Has(mem.FlagReferenced) {
 		return
 	}
-	from := StateOf(pg)
+	from := v.preState(pg)
 	pg.ClearFlags(mem.FlagReferenced)
-	v.emit(pg, from, StateOf(pg), CauseDecay)
+	v.emit(pg, from, CauseDecay)
 }

@@ -9,11 +9,19 @@ import "multiclock/internal/mem"
 // still set, as the TLB fill does on real machines). Compound (huge) pages
 // are cached per covered base frame, not per descriptor: a 2 MiB page does
 // not fit in the cache just because its descriptor was seen.
+//
+// The cache sits on the access fast path, so it is allocation-free after
+// construction: nodes live in a fixed slab, the LRU list links slot
+// indexes, and a base page's slot is found through Page.CacheHint in O(1)
+// with no map. Only sub-frames of compound pages (sub != 0) — which have no
+// per-frame descriptor to carry a hint — fall back to a small map.
 type pageCache struct {
 	cap   int
-	index map[cacheKey]*cacheNode
-	head  *cacheNode // most recently used
-	tail  *cacheNode
+	nodes []cacheNode
+	free  []int32            // unused slab slots
+	sub   map[cacheKey]int32 // slot index of compound sub-frames only
+	head  int32              // most recently used; -1 when empty
+	tail  int32
 
 	Hits, Misses int64
 }
@@ -24,76 +32,128 @@ type cacheKey struct {
 	sub int32 // base-frame index within a compound page; 0 for base pages
 }
 
+// cacheNode is one slab slot on the LRU list; prev/next are slot indexes,
+// -1 terminated.
 type cacheNode struct {
 	key        cacheKey
-	prev, next *cacheNode
+	prev, next int32
 }
 
 func newPageCache(capacity int) *pageCache {
-	return &pageCache{cap: capacity, index: make(map[cacheKey]*cacheNode, capacity+1)}
+	c := &pageCache{
+		cap:   capacity,
+		nodes: make([]cacheNode, capacity),
+		free:  make([]int32, 0, capacity),
+		head:  -1,
+		tail:  -1,
+	}
+	for i := capacity - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
+	}
+	return c
 }
 
 // Touch records an access to the page's sub-frame and reports a hit.
 func (c *pageCache) Touch(pg *mem.Page, sub int32) bool {
-	key := cacheKey{pg, sub}
-	if n, ok := c.index[key]; ok {
+	if sub == 0 {
+		if idx := pg.CacheHint - 1; idx >= 0 {
+			c.Hits++
+			c.moveToFront(idx)
+			return true
+		}
+	} else if idx, ok := c.sub[cacheKey{pg, sub}]; ok {
 		c.Hits++
-		c.moveToFront(n)
+		c.moveToFront(idx)
 		return true
 	}
 	c.Misses++
-	n := &cacheNode{key: key}
-	c.index[key] = n
-	c.pushFront(n)
-	if len(c.index) > c.cap {
-		evict := c.tail
-		c.unlink(evict)
-		delete(c.index, evict.key)
+	var idx int32
+	if n := len(c.free); n > 0 {
+		idx = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		// Full: reuse the least-recently-used slot.
+		idx = c.tail
+		c.unlink(idx)
+		c.dropKey(c.nodes[idx].key)
+	}
+	c.nodes[idx].key = cacheKey{pg, sub}
+	c.pushFront(idx)
+	if sub == 0 {
+		pg.CacheHint = idx + 1
+	} else {
+		if c.sub == nil {
+			c.sub = make(map[cacheKey]int32, c.cap)
+		}
+		c.sub[cacheKey{pg, sub}] = idx
 	}
 	return false
 }
 
 // Invalidate drops every cached frame of the page (migration or free).
 func (c *pageCache) Invalidate(pg *mem.Page) {
-	for n := c.head; n != nil; {
-		next := n.next
-		if n.key.pg == pg {
-			c.unlink(n)
-			delete(c.index, n.key)
+	if idx := pg.CacheHint - 1; idx >= 0 {
+		c.release(idx)
+	}
+	if len(c.sub) != 0 {
+		for k, idx := range c.sub {
+			if k.pg == pg {
+				c.release(idx)
+			}
 		}
-		n = next
 	}
 }
 
-func (c *pageCache) pushFront(n *cacheNode) {
-	n.prev = nil
-	n.next = c.head
-	if c.head != nil {
-		c.head.prev = n
+// release unlinks a slot, clears its reverse index, and returns it to the
+// free list.
+func (c *pageCache) release(idx int32) {
+	c.unlink(idx)
+	c.dropKey(c.nodes[idx].key)
+	c.nodes[idx].key = cacheKey{}
+	c.free = append(c.free, idx)
+}
+
+// dropKey clears the reverse index entry (hint or sub map) for a key whose
+// slot is being evicted or released.
+func (c *pageCache) dropKey(k cacheKey) {
+	if k.sub == 0 {
+		k.pg.CacheHint = 0
 	} else {
-		c.tail = n
+		delete(c.sub, k)
 	}
-	c.head = n
 }
 
-func (c *pageCache) unlink(n *cacheNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (c *pageCache) pushFront(idx int32) {
+	n := &c.nodes[idx]
+	n.prev = -1
+	n.next = c.head
+	if c.head >= 0 {
+		c.nodes[c.head].prev = idx
+	} else {
+		c.tail = idx
+	}
+	c.head = idx
+}
+
+func (c *pageCache) unlink(idx int32) {
+	n := &c.nodes[idx]
+	if n.prev >= 0 {
+		c.nodes[n.prev].next = n.next
 	} else {
 		c.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next >= 0 {
+		c.nodes[n.next].prev = n.prev
 	} else {
 		c.tail = n.prev
 	}
-	n.prev, n.next = nil, nil
+	n.prev, n.next = -1, -1
 }
 
-func (c *pageCache) moveToFront(n *cacheNode) {
-	if c.head == n {
+func (c *pageCache) moveToFront(idx int32) {
+	if c.head == idx {
 		return
 	}
-	c.unlink(n)
-	c.pushFront(n)
+	c.unlink(idx)
+	c.pushFront(idx)
 }

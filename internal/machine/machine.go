@@ -223,6 +223,14 @@ func (m *Machine) Access(as *pagetable.AddressSpace, vpn pagetable.VPN, write bo
 // costs lines cache-line transfers (reading a ~1 KiB record misses many
 // lines of one page). If the page sits in the modelled CPU cache the whole
 // access is served there.
+//
+// Accounting contract (pinned by accounting_test.go): each iteration of the
+// thrash-retry fault loop charges Lat.MinorFault exactly once and fault()
+// increments Counters.MinorFaults exactly once, so fault latency and fault
+// counters always move in lockstep. Cache-filtered accesses charge the
+// CacheHit cost and count CacheFiltered but are deliberately not reported
+// to Metrics.AccessLatency — that sink carries device-level memory-system
+// cost, and a CPU-cache hit never reaches the memory system.
 func (m *Machine) AccessN(as *pagetable.AddressSpace, vpn pagetable.VPN, write bool, lines int) *mem.Page {
 	if lines < 1 {
 		lines = 1
@@ -284,6 +292,31 @@ func (m *Machine) AccessN(as *pagetable.AddressSpace, vpn pagetable.VPN, write b
 		m.observer.OnAccess(pg, write, m.Clock.Now())
 	}
 	m.Clock.Advance(lat)
+	return pg
+}
+
+// AccessBatch performs the accesses in order, each with the full per-access
+// semantics of AccessN: faults, hint costs, cache filtering, observer
+// callbacks, and an individual clock advance per element. Batching amortizes
+// driver-loop overhead; it never coalesces charges, so a batch produces
+// byte-identical results to the equivalent AccessN loop. Returns the page of
+// the last access (nil for an empty batch).
+func (m *Machine) AccessBatch(as *pagetable.AddressSpace, vpns []pagetable.VPN, write bool, lines int) *mem.Page {
+	var pg *mem.Page
+	for _, vpn := range vpns {
+		pg = m.AccessN(as, vpn, write, lines)
+	}
+	return pg
+}
+
+// AccessRange touches n consecutive pages starting at base, with AccessBatch
+// semantics (one full-cost access per page, in ascending order). It is the
+// natural driver for sequential record touches and initialization sweeps.
+func (m *Machine) AccessRange(as *pagetable.AddressSpace, base pagetable.VPN, n int, write bool, lines int) *mem.Page {
+	var pg *mem.Page
+	for i := 0; i < n; i++ {
+		pg = m.AccessN(as, base+pagetable.VPN(i), write, lines)
+	}
 	return pg
 }
 

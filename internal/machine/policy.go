@@ -60,6 +60,11 @@ type Stopper interface {
 // tier. Embed it and override what differs.
 type Base struct {
 	M *Machine
+
+	// reclaimBuf is reused across DirectReclaim calls so repeated direct
+	// reclaim under sustained pressure does not allocate. SwapOut never
+	// re-enters reclaim, so one buffer is safe.
+	reclaimBuf []*mem.Page
 }
 
 // Attach stores the machine reference. Policies embedding Base should call
@@ -99,10 +104,12 @@ func (b *Base) DirectReclaim(n int) int {
 				// Push active pages toward inactive so sustained
 				// pressure always makes progress.
 				vec.BalanceActive(0, n-freed)
-				for _, pg := range vec.DemoteCandidates(n - freed) {
+				victims := vec.AppendDemoteCandidates(b.reclaimBuf[:0], n-freed)
+				for _, pg := range victims {
 					b.M.SwapOut(pg)
 					freed++
 				}
+				b.reclaimBuf = victims[:0]
 				if freed >= n {
 					break
 				}

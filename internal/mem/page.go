@@ -141,6 +141,11 @@ type Page struct {
 	// or 0 if never promoted; used by re-access telemetry (Fig. 9).
 	PromotedAt sim.Time
 
+	// CacheHint is scratch owned by the machine's CPU-cache model: slot
+	// index + 1 of this page's base frame in the cache slab, 0 when not
+	// cached. It lets the access fast path skip a map lookup entirely.
+	CacheHint int32
+
 	prev, next *Page
 	list       *PageList
 }

@@ -45,7 +45,31 @@ type System struct {
 	// tiers caches node IDs per tier in ID order for allocation fallback.
 	tiers [NumTiers][]NodeID
 
+	// descSlab bump-allocates page descriptors in chunks so page births
+	// (and huge-page splits) do not pay one heap allocation per
+	// descriptor. Descriptors are never recycled — observers track pages
+	// by pointer identity, so a freed page's pointer must stay unique —
+	// which means a chunk is garbage only once every descriptor in it is
+	// unreachable; at simulation scale that trade is cheap.
+	descSlab []Page
+
 	clock *sim.Clock
+}
+
+// descChunk is the descriptor slab chunk size in pages.
+const descChunk = 1024
+
+// newPage returns a fresh zeroed descriptor from the slab with the unmapped
+// sentinel fields set (Space -1, birth timestamp stamped).
+func (s *System) newPage() *Page {
+	if len(s.descSlab) == 0 {
+		s.descSlab = make([]Page, descChunk)
+	}
+	pg := &s.descSlab[0]
+	s.descSlab = s.descSlab[1:]
+	pg.Space = -1
+	pg.BornAt = s.clock.Now()
+	return pg
 }
 
 // NewSystem builds the node set from cfg. The clock supplies timestamps for
@@ -129,14 +153,11 @@ func (s *System) AllocBlockOn(id NodeID, order int, emergency bool) *Page {
 		s.Counters.EmergencyAllocs++
 	}
 	s.Counters.Allocs[n.Tier] += 1 << order
-	return &Page{
-		Node:   id,
-		Frame:  f,
-		Order:  uint8(order),
-		VA:     0,
-		Space:  -1,
-		BornAt: s.clock.Now(),
-	}
+	pg := s.newPage()
+	pg.Node = id
+	pg.Frame = f
+	pg.Order = uint8(order)
+	return pg
 }
 
 // Alloc allocates a page following the tier fallback order: every node of
@@ -258,16 +279,15 @@ func (s *System) Split(pg *Page) []*Page {
 	}
 	out := make([]*Page, pg.Frames())
 	for i := range out {
-		bp := &Page{
-			Node:     pg.Node,
-			Frame:    pg.Frame + FrameID(i),
-			Flags:    pg.Flags &^ FlagIsolated,
-			VA:       pg.VA + uint64(i)*PageSize,
-			Space:    pg.Space,
-			Accessed: pg.Accessed,
-			HWDirty:  pg.HWDirty,
-			BornAt:   pg.BornAt,
-		}
+		bp := s.newPage()
+		bp.Node = pg.Node
+		bp.Frame = pg.Frame + FrameID(i)
+		bp.Flags = pg.Flags &^ FlagIsolated
+		bp.VA = pg.VA + uint64(i)*PageSize
+		bp.Space = pg.Space
+		bp.Accessed = pg.Accessed
+		bp.HWDirty = pg.HWDirty
+		bp.BornAt = pg.BornAt
 		out[i] = bp
 	}
 	s.Counters.HugeSplits++

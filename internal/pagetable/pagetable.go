@@ -70,6 +70,14 @@ type AddressSpace struct {
 	nextVPN VPN // bump allocator for mmap placement
 	mapped  int // populated PTE count
 
+	// lookupTag/lookupLeaf memoize the last leaf node Lookup walked to
+	// (tag is vpn>>levelBits + 1, so the zero value matches nothing).
+	// Leaf nodes are never removed once installed — unmapping only clears
+	// PTE slots inside them — so a memoized leaf pointer cannot go stale;
+	// the PTE slot itself is re-read on every lookup.
+	lookupTag  VPN
+	lookupLeaf *pteLeaf
+
 	// swapped records pages written to backing store; the next fault on
 	// such a VPN is a major fault (swap-in).
 	swapped map[VPN]bool
@@ -191,7 +199,13 @@ func (as *AddressSpace) VMAs() []*VMA { return as.vmas }
 func (as *AddressSpace) Mapped() int { return as.mapped }
 
 // Lookup returns the page mapped at vpn, or nil if the PTE is empty.
+// Workloads have strong page locality, so the leaf node of the last lookup
+// is memoized: repeat lookups under the same leaf skip the radix walk.
 func (as *AddressSpace) Lookup(vpn VPN) *mem.Page {
+	tag := (vpn >> levelBits) + 1
+	if tag == as.lookupTag {
+		return as.lookupLeaf[vpn&levelMask]
+	}
 	pmd := as.pgd[(vpn>>(2*levelBits))&levelMask]
 	if pmd == nil {
 		return nil
@@ -200,6 +214,8 @@ func (as *AddressSpace) Lookup(vpn VPN) *mem.Page {
 	if leaf == nil {
 		return nil
 	}
+	as.lookupTag = tag
+	as.lookupLeaf = leaf
 	return leaf[vpn&levelMask]
 }
 

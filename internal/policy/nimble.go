@@ -33,6 +33,12 @@ type Nimble struct {
 
 	// Promotions counts pages moved up; exposed for Fig. 8 telemetry.
 	Promotions int64
+
+	// Reusable candidate buffers (allocation-free wakeups). Kept distinct
+	// because makeRoom nests inside scan's candidate iteration via
+	// promoteIsolated.
+	promoteBuf []*mem.Page
+	demoteBuf  []*mem.Page
 }
 
 // NewNimble returns the Nimble-selection baseline.
@@ -91,7 +97,8 @@ func (nb *Nimble) scan(node mem.NodeID) {
 	if m.Mem.Nodes[node].Tier != mem.TierPM {
 		return
 	}
-	candidates := vec.CollectActiveReferenced(nb.cfg.ScanBatch, nb.cfg.ScanBatch)
+	candidates := vec.AppendActiveReferenced(nb.promoteBuf[:0], nb.cfg.ScanBatch, nb.cfg.ScanBatch)
+	nb.promoteBuf = candidates[:0]
 	if m.Metrics != nil {
 		m.Metrics.QueueDepth("promote_queue_depth", len(candidates), m.Clock.Now())
 	}
@@ -139,12 +146,14 @@ func (nb *Nimble) makeRoom() {
 			need = nb.cfg.ScanBatch
 		}
 		vec.BalanceActive(1, nb.cfg.ScanBatch)
-		for _, victim := range vec.DemoteCandidates(need) {
+		victims := vec.AppendDemoteCandidates(nb.demoteBuf[:0], need)
+		for _, victim := range victims {
 			pmDst := m.Mem.PickNode(mem.TierPM)
 			if pmDst == mem.NoNode || !m.MigrateIsolated(victim, pmDst) {
 				m.SwapOut(victim)
 			}
 		}
+		nb.demoteBuf = victims[:0]
 	}
 }
 

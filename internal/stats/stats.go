@@ -19,6 +19,16 @@ type Histogram struct {
 	sum     float64
 }
 
+// Reserve grows the sample buffer to hold at least n samples, so callers
+// that know their sample count up front avoid append's doubling churn.
+func (h *Histogram) Reserve(n int) {
+	if n > cap(h.samples) {
+		grown := make([]float64, len(h.samples), n)
+		copy(grown, h.samples)
+		h.samples = grown
+	}
+}
+
 // Add records one sample.
 func (h *Histogram) Add(v float64) {
 	h.samples = append(h.samples, v)

@@ -56,9 +56,7 @@ func RunPattern(m *machine.Machine, as *pagetable.AddressSpace, p Pattern, durat
 	rng := sim.NewRNG(seed)
 	vma := as.Mmap(p.Pages, false, "pattern-"+p.Name)
 	// Touch everything once so the population exists.
-	for i := 0; i < p.Pages; i++ {
-		m.Access(as, vma.Start+pagetable.VPN(i), false)
-	}
+	m.AccessRange(as, vma.Start, p.Pages, false, 1)
 
 	nDRAM := int(float64(p.Pages) * p.DRAMFriendly)
 	nTier := int(float64(p.Pages) * p.TierFriendly)

@@ -142,6 +142,7 @@ func (c *Client) Run(w Workload, ops int64) RunResult {
 	start := c.m.Clock.Now()
 	unsupported := false
 	var lat stats.Histogram
+	lat.Reserve(int(ops))
 
 	for i := int64(0); i < ops; i++ {
 		opStart := c.m.Clock.Now()

@@ -57,7 +57,7 @@ type config struct {
 }
 
 func main() {
-	pol := flag.String("policy", "multiclock", "comma-separated list of static | multiclock | nimble | at-cpm | at-opm | memory-mode | thermostat | amp-{lru,lfu,random}")
+	pol := flag.String("policy", "multiclock", "comma-separated list of static | multiclock | multiclock-gated | nimble | nimble-gated | at-cpm | at-opm | memory-mode | thermostat | amp-{lru,lfu,random} | nomad | s3fifo")
 	workload := flag.String("workload", "A", "YCSB workload (A-F, W)")
 	sequence := flag.Bool("sequence", false, "run the paper's full YCSB sequence (Load,A,B,C,F,W,D)")
 	gapbs := flag.String("gapbs", "", "run a GAPBS kernel instead (BFS, SSSP, PR, CC, BC, TC)")

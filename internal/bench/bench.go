@@ -128,6 +128,24 @@ func NewPolicy(name string, interval sim.Duration) (machine.Policy, error) {
 		cfg := policy.DefaultAMPConfig(sel)
 		cfg.ScanInterval = interval
 		return policy.NewAMP(cfg), nil
+	case "nomad":
+		cfg := policy.DefaultNomadConfig()
+		cfg.ScanInterval = interval
+		return policy.NewNomad(cfg), nil
+	case "s3fifo":
+		cfg := policy.DefaultS3FIFOConfig()
+		cfg.ScanInterval = interval
+		return policy.NewS3FIFO(cfg), nil
+	case "multiclock-gated":
+		cfg := core.DefaultConfig()
+		cfg.ScanInterval = interval
+		cfg.Gate = policy.NewBandwidthGate(policy.DefaultBandwidthGateConfig())
+		return core.New(cfg), nil
+	case "nimble-gated":
+		cfg := policy.DefaultNimbleConfig()
+		cfg.ScanInterval = interval
+		cfg.Gate = policy.NewBandwidthGate(policy.DefaultBandwidthGateConfig())
+		return policy.NewNimble(cfg), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown system %q", name)
 	}
@@ -271,6 +289,7 @@ var Experiments = map[string]func(Options) string{
 	"ablation-granularity": AblationGranularity,
 	"ablation-thp":         AblationTHP,
 	"ablation-multiproc":   AblationMultiProc,
+	"bakeoff":              Bakeoff,
 }
 
 // Names returns the experiment ids in sorted order.

@@ -82,10 +82,15 @@ func chaosOps(t *testing.T) int {
 	return 5000
 }
 
+// bakeoffExtras are the competitor policies outside the paper's comparison
+// set; they ride every chaos contract the paper systems do.
+var bakeoffExtras = []string{"nomad", "s3fifo", "multiclock-gated", "nimble-gated"}
+
 // TestChaosSoak: every tiered system survives a uniform 1% injection
 // campaign with its invariants intact, and the campaign actually fires.
 func TestChaosSoak(t *testing.T) {
 	systems := append(append([]string{}, SystemNames...), "memory-mode")
+	systems = append(systems, bakeoffExtras...)
 	ops := chaosOps(t)
 	for _, system := range systems {
 		system := system
@@ -105,7 +110,7 @@ func TestChaosSoak(t *testing.T) {
 // virtual elapsed time, same memory counters, same fault tallies.
 func TestChaosDeterminism(t *testing.T) {
 	t.Parallel()
-	for _, system := range []string{"multiclock", "nimble"} {
+	for _, system := range []string{"multiclock", "nimble", "nomad", "s3fifo", "multiclock-gated"} {
 		fcfg := fault.UniformRate(77, 0.02)
 		e1, c1, f1 := chaosRun(t, system, 9, chaosOps(t)/2, fcfg)
 		e2, c2, f2 := chaosRun(t, system, 9, chaosOps(t)/2, fcfg)
@@ -131,13 +136,15 @@ func TestChaosZeroRateIsNoOp(t *testing.T) {
 	stopDaemons(p)
 
 	ops := chaosOps(t) / 2
-	e1, c1, f1 := chaosRun(t, "multiclock", 5, ops, fault.Config{})
-	e2, c2, f2 := chaosRun(t, "multiclock", 5, ops, fault.Config{Seed: 99})
-	if e1 != e2 || c1 != c2 || f1 != f2 {
-		t.Fatalf("zero-rate run diverged from fault-free run: %v vs %v", e1, e2)
-	}
-	if f1.Total() != 0 || f2.Total() != 0 {
-		t.Fatal("fault-free runs recorded injections")
+	for _, system := range append([]string{"multiclock"}, bakeoffExtras...) {
+		e1, c1, f1 := chaosRun(t, system, 5, ops, fault.Config{})
+		e2, c2, f2 := chaosRun(t, system, 5, ops, fault.Config{Seed: 99})
+		if e1 != e2 || c1 != c2 || f1 != f2 {
+			t.Fatalf("%s: zero-rate run diverged from fault-free run: %v vs %v", system, e1, e2)
+		}
+		if f1.Total() != 0 || f2.Total() != 0 {
+			t.Fatalf("%s: fault-free runs recorded injections", system)
+		}
 	}
 }
 

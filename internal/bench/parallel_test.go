@@ -14,13 +14,15 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 	}
 	t.Parallel()
 	// Fig5 fans out per system (the Fig. 5/6 cell pattern the runner was
-	// built for); Fig10 fans out a 13-cell interval sweep.
+	// built for); Fig10 fans out a 13-cell interval sweep; Bakeoff fans out
+	// the competitor-policy set (nomad, s3fifo, the gated daemons).
 	for _, exp := range []struct {
 		name string
 		fn   func(Options) string
 	}{
 		{"fig5", Fig5},
 		{"fig10", Fig10},
+		{"bakeoff", Bakeoff},
 	} {
 		exp := exp
 		t.Run(exp.name, func(t *testing.T) {

@@ -62,11 +62,28 @@ func measure(name string, m *machine.Machine, body func() int64) PerfResult {
 		WallNS:    wall.Nanoseconds(),
 		VirtualNS: int64(m.Clock.Now()),
 	}
-	if wall > 0 && res.Accesses > 0 {
-		res.PagesPerSec = float64(res.Accesses) / wall.Seconds()
-		res.NsPerAccess = float64(res.WallNS) / float64(res.Accesses)
-	}
+	res.fillRates(wall)
 	return res
+}
+
+// fillRates derives the throughput fields from a raw wall-clock
+// measurement. A run with no accesses has genuinely zero throughput; a run
+// the wall clock's granularity swallowed is clamped to the finest
+// measurable interval instead — leaving PagesPerSec at 0 there would make
+// the fastest possible run read as an infinite slowdown against any
+// baseline.
+func (r *PerfResult) fillRates(wall time.Duration) {
+	if r.Accesses <= 0 {
+		r.PagesPerSec = 0
+		r.NsPerAccess = 0
+		return
+	}
+	if wall <= 0 {
+		wall = 1
+		r.WallNS = 1
+	}
+	r.PagesPerSec = float64(r.Accesses) / wall.Seconds()
+	r.NsPerAccess = float64(r.WallNS) / float64(r.Accesses)
 }
 
 // perfYCSB measures one YCSB workload (load + run) on multiclock.
@@ -239,12 +256,14 @@ func FormatPerf(rep PerfReport) string {
 }
 
 // ComparePerf checks cur against a baseline report: any workload present in
-// both whose pages/sec fell below baseline/tolerance is a regression. The
-// tolerance is deliberately generous — CI machines vary severalfold — so a
-// violation means the simulator genuinely got slower, not noisier. Virtual
-// results are also cross-checked: same scale and seed must reproduce the
-// baseline's virtual time exactly, which catches a perf "win" that moved
-// simulation behavior.
+// both whose pages/sec fell below baseline/tolerance is a regression, and
+// any workload the baseline measured that the current report dropped is a
+// violation outright — a silently vanished workload would otherwise pass
+// the gate with its regressions unmeasured. The tolerance is deliberately
+// generous — CI machines vary severalfold — so a violation means the
+// simulator genuinely got slower, not noisier. Virtual results are also
+// cross-checked: same scale and seed must reproduce the baseline's virtual
+// time exactly, which catches a perf "win" that moved simulation behavior.
 func ComparePerf(cur, base PerfReport, tolerance float64) []string {
 	var violations []string
 	if tolerance <= 1 {
@@ -256,6 +275,17 @@ func ComparePerf(cur, base PerfReport, tolerance float64) []string {
 	baseBy := make(map[string]PerfResult, len(base.Workloads))
 	for _, w := range base.Workloads {
 		baseBy[w.Workload] = w
+	}
+	curNames := make(map[string]bool, len(cur.Workloads))
+	for _, w := range cur.Workloads {
+		curNames[w.Workload] = true
+	}
+	for _, bw := range base.Workloads {
+		if !curNames[bw.Workload] {
+			violations = append(violations, fmt.Sprintf(
+				"%s: measured by the baseline but missing from the current report — suite shrank",
+				bw.Workload))
+		}
 	}
 	for _, w := range cur.Workloads {
 		bw, ok := baseBy[w.Workload]

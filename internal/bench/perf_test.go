@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func perfReport(quick bool, seed uint64, workloads ...PerfResult) PerfReport {
+	return PerfReport{Schema: PerfSchema, Quick: quick, Seed: seed, Go: "gotest", Workloads: workloads}
+}
+
+func perfResult(name string, pagesPerSec float64, virtualNS int64) PerfResult {
+	return PerfResult{Workload: name, Ops: 1, Accesses: 1000, WallNS: 1000, VirtualNS: virtualNS, PagesPerSec: pagesPerSec, NsPerAccess: 1}
+}
+
+func TestComparePerfCleanPass(t *testing.T) {
+	base := perfReport(true, 1, perfResult("ycsb-a", 1e6, 42), perfResult("gapbs", 2e6, 99))
+	cur := perfReport(true, 1, perfResult("ycsb-a", 0.9e6, 42), perfResult("gapbs", 2.1e6, 99))
+	if v := ComparePerf(cur, base, 5); len(v) != 0 {
+		t.Fatalf("clean comparison reported violations: %v", v)
+	}
+}
+
+func TestComparePerfRegression(t *testing.T) {
+	base := perfReport(true, 1, perfResult("ycsb-a", 1e6, 42))
+	cur := perfReport(true, 1, perfResult("ycsb-a", 1e5, 42))
+	v := ComparePerf(cur, base, 5)
+	if len(v) != 1 || !strings.Contains(v[0], "ycsb-a") {
+		t.Fatalf("10x slowdown at 5x tolerance: violations = %v", v)
+	}
+}
+
+// A workload the baseline measured but the current report dropped must be a
+// violation, not a silent skip: a suite that stops running a workload would
+// otherwise pass the perf gate with that workload's regressions unmeasured.
+func TestComparePerfMissingWorkloadIsViolation(t *testing.T) {
+	base := perfReport(true, 1, perfResult("ycsb-a", 1e6, 42), perfResult("gapbs", 2e6, 99), perfResult("kvstore", 3e6, 7))
+	cur := perfReport(true, 1, perfResult("ycsb-a", 1e6, 42))
+	v := ComparePerf(cur, base, 5)
+	if len(v) != 2 {
+		t.Fatalf("two dropped workloads, got %d violations: %v", len(v), v)
+	}
+	joined := strings.Join(v, "\n")
+	for _, name := range []string{"gapbs", "kvstore"} {
+		if !strings.Contains(joined, name) {
+			t.Errorf("violations do not name dropped workload %q: %v", name, v)
+		}
+	}
+	if !strings.Contains(joined, "missing") {
+		t.Errorf("violations do not say the workload is missing: %v", v)
+	}
+}
+
+// New workloads in the current report (absent from the baseline) are fine:
+// the suite grew, and the next baseline refresh picks them up.
+func TestComparePerfNewWorkloadAllowed(t *testing.T) {
+	base := perfReport(true, 1, perfResult("ycsb-a", 1e6, 42))
+	cur := perfReport(true, 1, perfResult("ycsb-a", 1e6, 42), perfResult("brand-new", 1, 1))
+	if v := ComparePerf(cur, base, 5); len(v) != 0 {
+		t.Fatalf("suite growth reported violations: %v", v)
+	}
+}
+
+func TestComparePerfVirtualTimeMismatch(t *testing.T) {
+	base := perfReport(true, 1, perfResult("ycsb-a", 1e6, 42))
+	cur := perfReport(true, 1, perfResult("ycsb-a", 1e6, 43))
+	v := ComparePerf(cur, base, 5)
+	if len(v) != 1 || !strings.Contains(v[0], "virtual time") {
+		t.Fatalf("virtual-time drift at the same seed: violations = %v", v)
+	}
+	// Different seeds legitimately produce different virtual times.
+	cur.Seed = 2
+	if v := ComparePerf(cur, base, 5); len(v) != 0 {
+		t.Fatalf("virtual-time check fired across seeds: %v", v)
+	}
+}
+
+func TestFillRatesZeroAccesses(t *testing.T) {
+	r := PerfResult{Workload: "empty", WallNS: 5000}
+	r.fillRates(5000 * time.Nanosecond)
+	if r.PagesPerSec != 0 || r.NsPerAccess != 0 {
+		t.Fatalf("zero accesses: pages/sec = %v, ns/access = %v, want 0, 0", r.PagesPerSec, r.NsPerAccess)
+	}
+}
+
+// A run faster than the wall clock's granularity must still report finite,
+// nonzero throughput — 0 pages/sec would read as an infinite slowdown
+// against any baseline.
+func TestFillRatesZeroWall(t *testing.T) {
+	r := PerfResult{Workload: "fast", Accesses: 1000}
+	r.fillRates(0)
+	if r.PagesPerSec <= 0 {
+		t.Fatalf("zero wall time: pages/sec = %v, want > 0", r.PagesPerSec)
+	}
+	if r.NsPerAccess <= 0 {
+		t.Fatalf("zero wall time: ns/access = %v, want > 0", r.NsPerAccess)
+	}
+	if r.WallNS != 1 {
+		t.Fatalf("zero wall time: WallNS = %d, want clamped to 1", r.WallNS)
+	}
+}
+
+func TestFillRatesNormal(t *testing.T) {
+	r := PerfResult{Workload: "normal", Accesses: 2000, WallNS: int64(time.Second)}
+	r.fillRates(time.Second)
+	if r.PagesPerSec != 2000 {
+		t.Fatalf("pages/sec = %v, want 2000", r.PagesPerSec)
+	}
+	if r.NsPerAccess != float64(time.Second)/2000 {
+		t.Fatalf("ns/access = %v, want %v", r.NsPerAccess, float64(time.Second)/2000)
+	}
+}

@@ -70,6 +70,13 @@ type Config struct {
 	// injects faults, in which case Attach defaults it to 2; negative
 	// forces immediate fallback.
 	DemoteRetryMax int
+
+	// Gate, when non-nil, is a promotion admission controller consulted
+	// once per candidate before any migration work is spent (TierBPF-style
+	// bandwidth control). A rejected candidate drops to the active list of
+	// its tier exactly like an exhausted retry; it may requalify through
+	// the ordinary two-touch path once the gate readmits.
+	Gate machine.PromotionGate
 }
 
 // DefaultConfig returns the paper's operating point: 1 s interval, 1024
@@ -171,8 +178,14 @@ func New(cfg Config) *MultiClock {
 	return &MultiClock{cfg: cfg, lastDemote: make(map[mem.NodeID]sim.Time)}
 }
 
-// Name implements machine.Policy.
-func (mc *MultiClock) Name() string { return "multiclock" }
+// Name implements machine.Policy. A gated instance reports its admission
+// controller so bake-off tables distinguish the variants.
+func (mc *MultiClock) Name() string {
+	if mc.cfg.Gate != nil {
+		return "multiclock+" + mc.cfg.Gate.Name()
+	}
+	return "multiclock"
+}
 
 // Config returns the active configuration.
 func (mc *MultiClock) Config() Config { return mc.cfg }
@@ -204,6 +217,9 @@ func (mc *MultiClock) Attach(m *machine.Machine) {
 	}
 	if mc.cfg.PromoteRetryMax > 0 || mc.cfg.DemoteRetryMax > 0 {
 		mc.retries = make(map[*mem.Page]*retryState)
+	}
+	if mc.cfg.Gate != nil {
+		mc.cfg.Gate.Attach(m)
 	}
 	for _, n := range m.Mem.Nodes {
 		node := n.ID
@@ -331,6 +347,14 @@ func (mc *MultiClock) kpromoted(node mem.NodeID) int {
 		if mc.cfg.PromoteMax >= 0 && promoted >= mc.cfg.PromoteMax {
 			// Budget spent: the page keeps its promote state and waits
 			// for the next wakeup.
+			vec.Putback(pg)
+			continue
+		}
+		if mc.cfg.Gate != nil && !mc.cfg.Gate.Admit(pg, m.Clock.Now()) {
+			// Refused by the admission gate: drop to the active list
+			// without spending a migration attempt (the gate accounts the
+			// rejection).
+			lru.ClearPromote(pg)
 			vec.Putback(pg)
 			continue
 		}

@@ -74,8 +74,11 @@ type Vec struct {
 	// Scanned counts pages examined by scanners on this vec.
 	Scanned int64
 
-	// hook, when set, observes every page state transition (see state.go).
-	hook Hook
+	// hook is the compiled observer chain — nil, a single Hook, or a
+	// multiHook fan-out — rebuilt by AddHook/detach so the hot-path nil
+	// check in preState/emit stays a single comparison (see state.go).
+	hook  Hook
+	hooks []*hookEntry
 }
 
 // NewVec creates the list set for a node.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"multiclock/internal/mem"
+	"multiclock/internal/sim"
 )
 
 // populate adds n anon pages and returns them.
@@ -372,6 +373,94 @@ func TestDemoteCandidatesCoversFileList(t *testing.T) {
 	got := v.DemoteCandidates(10)
 	if len(got) != 5 {
 		t.Fatalf("file candidates = %d, want 5", len(got))
+	}
+}
+
+// TestScanCycleBudgetConservationProperty pins ScanCycle's budget contract
+// across adversarial list shapes: for any distribution of pages over the six
+// evictable lists and any batch, exactly min(batch, population) pages are
+// examined — never more (the remainder hand-out must not over-assign) and
+// never fewer (integer division must not strand budget). Every page carries
+// a set hardware bit, so each examination observes a reference; a page
+// examined twice in one pass (or a mid-pass arrival re-examined) would find
+// its bit already cleared and show up as Referenced < Scanned.
+func TestScanCycleBudgetConservationProperty(t *testing.T) {
+	rng := sim.NewRNG(0xbadc0de)
+	// Adversarial per-list sizes: empty, singletons, tiny, and large-skew
+	// shapes that exercise both the remainder loop and the q > lens clamp.
+	sizes := []int{0, 0, 1, 1, 2, 3, 5, 17, 200}
+	for trial := 0; trial < 200; trial++ {
+		v := NewVec(0)
+		total := 0
+		// Shape the six evictable lists: anon and file ladders, each with
+		// inactive / active / promote populations.
+		for _, file := range []bool{false, true} {
+			for rung := 0; rung < 3; rung++ {
+				n := sizes[rng.Intn(len(sizes))]
+				total += n
+				for i := 0; i < n; i++ {
+					var pg *mem.Page
+					if file {
+						pg = filePage()
+					} else {
+						pg = anonPage()
+					}
+					v.Add(pg)
+					// 0 MarkAccessed keeps it inactive; 2 makes it
+					// active; 4 climbs to promote.
+					for j := 0; j < 2*rung; j++ {
+						v.MarkAccessed(pg)
+					}
+				}
+			}
+		}
+		if got := v.TotalEvictable(); got != total {
+			t.Fatalf("trial %d: setup placed %d evictable pages, want %d", trial, got, total)
+		}
+		// Every page referenced: transitions fire mid-pass (activations,
+		// promote retentions) while the budget must still hold exactly.
+		for k := Kind(0); k < Unevictable; k++ {
+			for pg := v.List(k).Back(); pg != nil; pg = pg.Prev() {
+				pg.Accessed = true
+			}
+		}
+		batch := 0
+		switch rng.Intn(5) {
+		case 0:
+			batch = 1
+		case 1:
+			batch = total + 1 + rng.Intn(10) // over-budget: full single pass
+		case 2:
+			batch = total // exact cover
+		case 3:
+			if total > 0 {
+				batch = 1 + rng.Intn(total) // partial
+			}
+		case 4:
+			batch = rng.Intn(2 * (total + 1))
+		}
+		stats := v.ScanCycle(batch)
+		want := batch
+		if total < want {
+			want = total
+		}
+		if batch <= 0 {
+			want = 0
+		}
+		if stats.Scanned != want {
+			t.Fatalf("trial %d: Scanned = %d, want min(batch=%d, total=%d) = %d",
+				trial, stats.Scanned, batch, total, want)
+		}
+		if stats.Referenced != stats.Scanned {
+			t.Fatalf("trial %d: Referenced = %d != Scanned = %d — a page was examined twice in one pass",
+				trial, stats.Referenced, stats.Scanned)
+		}
+		if got := v.TotalEvictable(); got != total {
+			t.Fatalf("trial %d: population %d after scan, want %d (page leaked)", trial, got, total)
+		}
+		if _, err := v.CheckConsistency(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
 	}
 }
 

@@ -119,8 +119,55 @@ type Hook interface {
 	PageTransition(pg *mem.Page, node mem.NodeID, from, to State, cause Cause)
 }
 
-// SetHook installs (or, with nil, removes) the transition observer.
-func (v *Vec) SetHook(h Hook) { v.hook = h }
+// hookEntry is one registered observer; detach closures remove by entry
+// pointer so the same Hook value can be registered twice and detached
+// independently (and non-comparable Hook implementations stay legal).
+type hookEntry struct{ h Hook }
+
+// multiHook fans a transition out to several observers in registration
+// order.
+type multiHook []Hook
+
+func (m multiHook) PageTransition(pg *mem.Page, node mem.NodeID, from, to State, cause Cause) {
+	for _, h := range m {
+		h.PageTransition(pg, node, from, to, cause)
+	}
+}
+
+// AddHook registers a transition observer alongside any already attached and
+// returns a function that detaches it again. Observers fire in registration
+// order; with none registered the hot path pays only a nil check.
+func (v *Vec) AddHook(h Hook) (detach func()) {
+	e := &hookEntry{h: h}
+	v.hooks = append(v.hooks, e)
+	v.rebuildHook()
+	return func() {
+		for i, cur := range v.hooks {
+			if cur == e {
+				v.hooks = append(v.hooks[:i], v.hooks[i+1:]...)
+				v.rebuildHook()
+				return
+			}
+		}
+	}
+}
+
+// rebuildHook recompiles the observer chain into the single hook slot the
+// emit paths check.
+func (v *Vec) rebuildHook() {
+	switch len(v.hooks) {
+	case 0:
+		v.hook = nil
+	case 1:
+		v.hook = v.hooks[0].h
+	default:
+		m := make(multiHook, len(v.hooks))
+		for i, e := range v.hooks {
+			m[i] = e.h
+		}
+		v.hook = m
+	}
+}
 
 // preState snapshots the page's state for a later emit. With no hook
 // attached it skips the flag decode entirely — state bracketing is pure

@@ -1,0 +1,88 @@
+package lru
+
+import (
+	"testing"
+
+	"multiclock/internal/mem"
+)
+
+// recordingHook appends one tagged entry per observed transition.
+type recordingHook struct {
+	tag string
+	log *[]string
+}
+
+func (r *recordingHook) PageTransition(pg *mem.Page, node mem.NodeID, from, to State, cause Cause) {
+	*r.log = append(*r.log, r.tag+":"+cause.String())
+}
+
+func TestAddHookFanOut(t *testing.T) {
+	v := NewVec(0)
+	var log []string
+	detachA := v.AddHook(&recordingHook{tag: "a", log: &log})
+	detachB := v.AddHook(&recordingHook{tag: "b", log: &log})
+
+	pg := anonPage()
+	v.Add(pg)
+	// Both observers see the add, in registration order.
+	if len(log) != 2 || log[0] != "a:add" || log[1] != "b:add" {
+		t.Fatalf("fan-out log = %v, want [a:add b:add]", log)
+	}
+
+	// Detaching one leaves the other observing.
+	detachA()
+	log = log[:0]
+	v.Isolate(pg)
+	if len(log) != 1 || log[0] != "b:isolate" {
+		t.Fatalf("post-detach log = %v, want [b:isolate]", log)
+	}
+
+	// Detach is idempotent and independent per registration.
+	detachA()
+	detachB()
+	log = log[:0]
+	v.Putback(pg)
+	if len(log) != 0 {
+		t.Fatalf("all hooks detached but log = %v", log)
+	}
+}
+
+func TestAddHookSameHookTwice(t *testing.T) {
+	v := NewVec(0)
+	var log []string
+	h := &recordingHook{tag: "h", log: &log}
+	detach1 := v.AddHook(h)
+	v.AddHook(h)
+
+	v.Add(anonPage())
+	if len(log) != 2 {
+		t.Fatalf("double-registered hook fired %d times, want 2", len(log))
+	}
+
+	// Detaching one registration leaves the other.
+	detach1()
+	log = log[:0]
+	v.Add(anonPage())
+	if len(log) != 1 {
+		t.Fatalf("hook fired %d times after detaching one of two registrations, want 1", len(log))
+	}
+}
+
+// With no hooks registered the emit path must stay on its nil fast path:
+// preState returns the sentinel without decoding page flags.
+func TestPreStateHooklessSentinel(t *testing.T) {
+	v := NewVec(0)
+	pg := anonPage()
+	v.Add(pg)
+	if got := v.preState(pg); got != StateGone {
+		t.Fatalf("hookless preState = %v, want StateGone sentinel", got)
+	}
+	detach := v.AddHook(&recordingHook{tag: "x", log: new([]string)})
+	if got := v.preState(pg); got == StateGone {
+		t.Fatal("preState still sentinel with a hook attached")
+	}
+	detach()
+	if got := v.preState(pg); got != StateGone {
+		t.Fatal("preState not back on the nil fast path after detach")
+	}
+}

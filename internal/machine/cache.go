@@ -14,13 +14,16 @@ import "multiclock/internal/mem"
 // construction: nodes live in a fixed slab, the LRU list links slot
 // indexes, and a base page's slot is found through Page.CacheHint in O(1)
 // with no map. Only sub-frames of compound pages (sub != 0) — which have no
-// per-frame descriptor to carry a hint — fall back to a small map.
+// per-frame descriptor to carry a hint — fall back to a small map, keyed by
+// page so invalidation only ever visits the page's own residency: a base
+// page's Invalidate must stay O(1) no matter how many compound frames other
+// pages have cached.
 type pageCache struct {
 	cap   int
 	nodes []cacheNode
-	free  []int32            // unused slab slots
-	sub   map[cacheKey]int32 // slot index of compound sub-frames only
-	head  int32              // most recently used; -1 when empty
+	free  []int32 // unused slab slots
+	sub   map[*mem.Page]map[int32]int32
+	head  int32 // most recently used; -1 when empty
 	tail  int32
 
 	Hits, Misses int64
@@ -61,7 +64,7 @@ func (c *pageCache) Touch(pg *mem.Page, sub int32) bool {
 			c.moveToFront(idx)
 			return true
 		}
-	} else if idx, ok := c.sub[cacheKey{pg, sub}]; ok {
+	} else if idx, ok := c.sub[pg][sub]; ok {
 		c.Hits++
 		c.moveToFront(idx)
 		return true
@@ -83,9 +86,14 @@ func (c *pageCache) Touch(pg *mem.Page, sub int32) bool {
 		pg.CacheHint = idx + 1
 	} else {
 		if c.sub == nil {
-			c.sub = make(map[cacheKey]int32, c.cap)
+			c.sub = make(map[*mem.Page]map[int32]int32, c.cap)
 		}
-		c.sub[cacheKey{pg, sub}] = idx
+		frames := c.sub[pg]
+		if frames == nil {
+			frames = make(map[int32]int32, 4)
+			c.sub[pg] = frames
+		}
+		frames[sub] = idx
 	}
 	return false
 }
@@ -95,12 +103,10 @@ func (c *pageCache) Invalidate(pg *mem.Page) {
 	if idx := pg.CacheHint - 1; idx >= 0 {
 		c.release(idx)
 	}
-	if len(c.sub) != 0 {
-		for k, idx := range c.sub {
-			if k.pg == pg {
-				c.release(idx)
-			}
-		}
+	// Only this page's compound residency is visited (release prunes the
+	// entries as it goes); pages with none pay nothing.
+	for _, idx := range c.sub[pg] {
+		c.release(idx)
 	}
 }
 
@@ -118,8 +124,11 @@ func (c *pageCache) release(idx int32) {
 func (c *pageCache) dropKey(k cacheKey) {
 	if k.sub == 0 {
 		k.pg.CacheHint = 0
-	} else {
-		delete(c.sub, k)
+	} else if frames := c.sub[k.pg]; frames != nil {
+		delete(frames, k.sub)
+		if len(frames) == 0 {
+			delete(c.sub, k.pg)
+		}
 	}
 }
 

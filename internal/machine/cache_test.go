@@ -169,3 +169,49 @@ func TestPageCacheUnitInvalidate(t *testing.T) {
 	}
 	_ = pagetable.HugePages
 }
+
+// Invalidating a base page must only touch that page's own residency: the
+// compound sub-frame index is keyed per page, so another page's cached huge
+// frames are neither scanned nor disturbed.
+func TestPageCacheBasePageInvalidateIsPerPage(t *testing.T) {
+	c := newPageCache(16)
+	huge, base := &mem.Page{}, &mem.Page{}
+	for sub := int32(1); sub <= 8; sub++ {
+		c.Touch(huge, sub)
+	}
+	c.Touch(base, 0)
+	c.Invalidate(base)
+	if len(c.sub) != 1 || len(c.sub[huge]) != 8 {
+		t.Fatalf("base-page invalidate disturbed compound residency: %d pages, %d frames", len(c.sub), len(c.sub[huge]))
+	}
+	for sub := int32(1); sub <= 8; sub++ {
+		if !c.Touch(huge, sub) {
+			t.Fatalf("huge sub-frame %d lost after unrelated invalidate", sub)
+		}
+	}
+	if c.Touch(base, 0) {
+		t.Fatal("invalidated base page still cached")
+	}
+}
+
+// The per-page residency index must not leak: eviction and invalidation
+// prune empty per-page entries so the map tracks only pages with cached
+// compound frames.
+func TestPageCacheCompoundResidencyPruned(t *testing.T) {
+	c := newPageCache(2)
+	a, b := &mem.Page{}, &mem.Page{}
+	c.Touch(a, 1)
+	c.Touch(a, 2)
+	c.Touch(b, 1) // capacity 2: evicts a's sub 1
+	c.Touch(b, 2) // evicts a's sub 2 — a now has no residency
+	if _, ok := c.sub[a]; ok {
+		t.Fatalf("evicted page still indexed: %v", c.sub[a])
+	}
+	c.Invalidate(b)
+	if len(c.sub) != 0 {
+		t.Fatalf("residency index not empty after invalidate: %v", c.sub)
+	}
+	if len(c.free) != 2 {
+		t.Fatalf("slab slots leaked: %d free, want 2", len(c.free))
+	}
+}

@@ -42,15 +42,20 @@ type Lifecycle interface {
 
 // SetLifecycle installs (or, with nil, removes) the lifecycle observer on
 // the machine and every LRU vec. Like SetMetrics, a nil sink leaves every
-// path exactly as without the instrumentation layer.
+// path exactly as without the instrumentation layer. The vec hooks are
+// shared with policy-internal observers (e.g. the S3-FIFO selector), so the
+// lifecycle sink registers alongside them rather than replacing them.
 func (m *Machine) SetLifecycle(l Lifecycle) {
+	for _, d := range m.lifecycleDetach {
+		d()
+	}
+	m.lifecycleDetach = nil
 	m.Lifecycle = l
+	if l == nil {
+		return
+	}
 	for _, v := range m.Vecs {
-		if l == nil {
-			v.SetHook(nil)
-		} else {
-			v.SetHook(l)
-		}
+		m.lifecycleDetach = append(m.lifecycleDetach, v.AddHook(l))
 	}
 }
 

@@ -100,6 +100,9 @@ type Machine struct {
 	// SetLifecycle, which also wires the LRU vec hooks). Nil leaves every
 	// path exactly as without the instrumentation layer.
 	Lifecycle Lifecycle
+	// lifecycleDetach unhooks the current lifecycle sink from the vec
+	// hook chains when it is replaced or removed.
+	lifecycleDetach []func()
 
 	// observers is the attach-ordered registry; observer is the compiled
 	// fan-out target the hot path dispatches to (nil when empty).
@@ -632,15 +635,19 @@ func (m *Machine) CheckInvariants() error {
 		}
 		onLists += frames
 	}
-	if onLists != used {
-		return fmt.Errorf("machine: LRU population %d frames != %d frames used (leaked isolated page?)", onLists, used)
+	// Shadow copies (non-exclusive tiering) hold frames that are neither
+	// LRU-resident nor mapped: used frames reconcile as LRU population
+	// plus shadows, and PTEs reconcile against the LRU population alone.
+	shadow := m.Mem.ShadowFrames()
+	if onLists+shadow != used {
+		return fmt.Errorf("machine: LRU population %d + %d shadow frames != %d frames used (leaked isolated page?)", onLists, shadow, used)
 	}
 	mapped := 0
 	for _, as := range m.spaces {
 		mapped += as.Mapped()
 	}
-	if mapped != used {
-		return fmt.Errorf("machine: PTEs mapped %d != %d frames used (leak or double-map)", mapped, used)
+	if mapped != onLists {
+		return fmt.Errorf("machine: PTEs mapped %d != %d LRU-resident frames (leak or double-map)", mapped, onLists)
 	}
 	return nil
 }

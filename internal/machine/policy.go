@@ -47,6 +47,24 @@ type Policy interface {
 	DirectReclaim(n int) int
 }
 
+// PromotionGate is a pluggable admission controller for promotions
+// (TierBPF-style): scanning daemons consult it with each candidate before
+// spending migration bandwidth. Implementations must be deterministic in
+// virtual time — Admit may read the machine's counters and clock but must
+// not mutate pages or lists. A rejected candidate is returned to its LRU by
+// the caller; the gate records the rejection in Counters.AdmissionRejects.
+type PromotionGate interface {
+	// Name identifies the gate in reports.
+	Name() string
+
+	// Attach wires the gate to the machine whose promotions it arbitrates.
+	// Called once, before any Admit.
+	Attach(m *Machine)
+
+	// Admit reports whether promoting pg is worth its bandwidth right now.
+	Admit(pg *mem.Page, now sim.Time) bool
+}
+
 // Stopper is implemented by policies that run daemons: Stop halts them so
 // abandoned machines cost nothing. Callers that tear systems down should
 // type-assert once against this interface instead of enumerating concrete

@@ -1,0 +1,46 @@
+package machine
+
+import "multiclock/internal/mem"
+
+// Shadow-copy migration wrappers (Nomad-style non-exclusive tiering): the
+// machine-level counterparts of MigrateIsolated for the two shadow paths,
+// carrying the same cache, telemetry and lifecycle accounting so observers
+// cannot tell a shadow migration from a regular one except by its cost.
+
+// PromoteShadowIsolated promotes a page the caller has already isolated to
+// dst, retaining the source frame as a shadow copy. On success the page is
+// putback on dst's LRU; on failure the caller keeps ownership of the
+// still-isolated page. Unevictable pages fail; compound pages must take the
+// regular migration path.
+func (m *Machine) PromoteShadowIsolated(pg *mem.Page, dst mem.NodeID) bool {
+	if pg.Flags.Has(mem.FlagUnevictable) {
+		m.Mem.Counters.MigrateFails++
+		m.lifecycleMigration(pg, pg.Node, dst, false)
+		return false
+	}
+	src := pg.Node
+	res := m.Mem.PromoteWithShadow(pg, dst)
+	if !res.OK {
+		m.lifecycleMigration(pg, src, dst, false)
+		return false
+	}
+	m.Vecs[dst].Putback(pg)
+	m.finishMigration(pg, src, dst, res)
+	return true
+}
+
+// DemoteShadowIsolated demotes an isolated clean shadowed page for free by
+// remapping it onto its retained shadow frame: no page copy, only the
+// remap/TLB tax. On success the page is putback on the shadow node's LRU;
+// on failure (no shadow held) the caller keeps the isolated page.
+func (m *Machine) DemoteShadowIsolated(pg *mem.Page) bool {
+	if !pg.HasShadow() {
+		return false
+	}
+	src := pg.Node
+	res := m.Mem.DemoteToShadow(pg)
+	dst := pg.Node
+	m.Vecs[dst].Putback(pg)
+	m.finishMigration(pg, src, dst, res)
+	return true
+}

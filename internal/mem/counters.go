@@ -48,6 +48,19 @@ type Counters struct {
 
 	// MigrationBusy is total virtual time daemons spent copying pages.
 	MigrationBusy sim.Duration
+
+	// Non-exclusive tiering (Nomad-style shadow copies): promotions that
+	// retained the source frame as a shadow, free demotions served by
+	// remapping onto a still-valid shadow, and shadows released (a write
+	// invalidated the replica, PM pressure reclaimed it, or the page
+	// died).
+	ShadowPromotes int64
+	ShadowHits     int64
+	ShadowDrops    int64
+
+	// AdmissionRejects counts promotions refused by a migration admission
+	// gate (TierBPF-style bandwidth control).
+	AdmissionRejects int64
 }
 
 // DRAMHitRatio returns the fraction of application accesses served from
@@ -95,6 +108,22 @@ func (c *Counters) Each(f func(name string, v int64)) {
 	f("huge_splits", c.HugeSplits)
 	f("pages_scanned", c.PagesScanned)
 	f("migration_busy_ns", int64(c.MigrationBusy))
+	// Shadow and admission counters only exist for the competitor policies
+	// that drive them; they are emitted only when nonzero so the export of
+	// every run that predates (or doesn't use) those policies — including
+	// the checked-in golden fixtures — stays byte-identical.
+	if c.ShadowPromotes != 0 {
+		f("shadow_promotes", c.ShadowPromotes)
+	}
+	if c.ShadowHits != 0 {
+		f("shadow_hits", c.ShadowHits)
+	}
+	if c.ShadowDrops != 0 {
+		f("shadow_drops", c.ShadowDrops)
+	}
+	if c.AdmissionRejects != 0 {
+		f("admission_rejects", c.AdmissionRejects)
+	}
 }
 
 // String renders the counters as a compact multi-line report.
@@ -109,5 +138,9 @@ func (c *Counters) String() string {
 	fmt.Fprintf(&b, "promotions=%d demotions=%d migrate-fails=%d swapouts=%d oom=%d scanned=%d migration-busy=%s",
 		c.Promotions, c.Demotions, c.MigrateFails, c.SwapOuts, c.OOMKills, c.PagesScanned,
 		c.MigrationBusy)
+	if c.ShadowPromotes != 0 || c.ShadowHits != 0 || c.ShadowDrops != 0 || c.AdmissionRejects != 0 {
+		fmt.Fprintf(&b, "\nshadow: promotes=%d free-demotes=%d drops=%d  admission-rejects=%d",
+			c.ShadowPromotes, c.ShadowHits, c.ShadowDrops, c.AdmissionRejects)
+	}
 	return b.String()
 }

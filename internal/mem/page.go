@@ -146,6 +146,16 @@ type Page struct {
 	// cached. It lets the access fast path skip a map lookup entirely.
 	CacheHint int32
 
+	// ShadowNode/ShadowFrame record a retained lower-tier copy of the
+	// page's contents (Nomad-style non-exclusive tiering): after
+	// PromoteWithShadow the old frame stays allocated as a shadow instead
+	// of being freed, so a still-clean page can later be demoted for free
+	// by remapping to it (DemoteToShadow). Any write invalidates the
+	// shadow; the owning policy must DropShadow before or at the write.
+	// ShadowNode is NoNode when the page has no shadow.
+	ShadowNode  NodeID
+	ShadowFrame FrameID
+
 	prev, next *Page
 	list       *PageList
 }
@@ -174,6 +184,9 @@ func (pg *Page) List() *PageList { return pg.list }
 
 // IsFile reports whether the page is file-backed.
 func (pg *Page) IsFile() bool { return pg.Flags.Has(FlagFile) }
+
+// HasShadow reports whether the page retains a lower-tier shadow copy.
+func (pg *Page) HasShadow() bool { return pg.ShadowNode != NoNode }
 
 // SetFlags sets the given flag bits.
 func (pg *Page) SetFlags(f PageFlags) { pg.Flags |= f }

@@ -1,0 +1,124 @@
+package mem
+
+// Shadow-copy migration (Nomad-style non-exclusive tiering): a promotion
+// may retain the source frame as a shadow copy of the page instead of
+// freeing it. While the page stays clean the shadow remains a valid replica,
+// which makes the eventual demotion free — remap to the retained frame, no
+// page copy. A write invalidates the replica; the owning policy is
+// responsible for dropping the shadow at (or before) the write, so a page
+// with HasShadow() is by protocol clean with respect to its shadow.
+//
+// Accounting: a shadowed page occupies two frame sets — the primary
+// (Node/Frame, on the LRU and mapped) and the shadow (allocated, off-LRU,
+// unmapped). System.ShadowFrames() reports the latter so machine-level
+// invariant checks can reconcile used = LRU-resident + shadow.
+
+// ShadowFrames returns the number of frames currently held by shadow
+// copies across the system.
+func (s *System) ShadowFrames() int { return s.shadowFrames }
+
+// PromoteWithShadow migrates pg to node dst like Migrate, but retains the
+// source frame as a shadow copy instead of freeing it. The page must be
+// isolated, evictable, a base page (compound pages cannot shadow — callers
+// fall back to Migrate), and must not already hold a shadow. The same
+// transient fault injections as Migrate apply; a failed attempt leaves the
+// page untouched on its source frame.
+func (s *System) PromoteWithShadow(pg *Page, dst NodeID) MigrationResult {
+	if pg.Flags.Has(FlagUnevictable) {
+		s.Counters.MigrateFails++
+		return MigrationResult{}
+	}
+	if !pg.Flags.Has(FlagIsolated) {
+		panic("mem: shadow-promoting a page that is not isolated from the LRU")
+	}
+	if pg.OnList() {
+		panic("mem: shadow-promoting a page still on a list")
+	}
+	if pg.IsHuge() {
+		panic("mem: shadow-promoting a compound page")
+	}
+	if pg.HasShadow() {
+		panic("mem: shadow-promoting a page that already has a shadow")
+	}
+	src := pg.Node
+	if src == dst {
+		return MigrationResult{OK: true, From: src, To: dst}
+	}
+	if s.Faults.MigrationPinned() || s.Faults.TargetDenied() {
+		s.Counters.MigrateFails++
+		return MigrationResult{From: src, To: dst}
+	}
+	dn := s.Nodes[dst]
+	f := dn.alloc.Alloc(0)
+	if f == NoFrame {
+		s.Counters.MigrateFails++
+		return MigrationResult{From: src, To: dst}
+	}
+	// The source frame is not freed: it becomes the shadow. Only the
+	// destination allocation enters the conservation ledger, so
+	// allocs - frees still equals frames in use (primary + shadow).
+	s.Counters.Allocs[dn.Tier]++
+	pg.ShadowNode = src
+	pg.ShadowFrame = pg.Frame
+	s.shadowFrames++
+	pg.Node = dst
+	pg.Frame = f
+
+	sn := s.Nodes[src]
+	cost := s.Lat.PageCopy[sn.Tier][dn.Tier]
+	s.Counters.MigrationBusy += cost
+	if dn.Tier < sn.Tier {
+		s.Counters.Promotions++
+		pg.PromotedAt = s.clock.Now()
+	}
+	s.Counters.ShadowPromotes++
+	return MigrationResult{OK: true, From: src, To: dst, Cost: cost, Tax: s.Lat.MigrationTax}
+}
+
+// DemoteToShadow demotes a clean shadowed page for free: the page is
+// remapped onto its retained shadow frame, the primary frame is freed, and
+// no page copy is charged (only the caller-side remap/TLB tax). The page
+// must be isolated and hold a shadow. This is the payoff of non-exclusive
+// tiering: demotion of an unmodified page costs no bandwidth.
+func (s *System) DemoteToShadow(pg *Page) MigrationResult {
+	if !pg.Flags.Has(FlagIsolated) {
+		panic("mem: shadow-demoting a page that is not isolated from the LRU")
+	}
+	if pg.OnList() {
+		panic("mem: shadow-demoting a page still on a list")
+	}
+	if !pg.HasShadow() {
+		panic("mem: shadow-demoting a page with no shadow")
+	}
+	src := pg.Node
+	dst := pg.ShadowNode
+	sn := s.Nodes[src]
+	sn.alloc.Free(pg.Frame, 0)
+	s.Counters.Frees[sn.Tier]++
+	pg.Node = dst
+	pg.Frame = pg.ShadowFrame
+	pg.ShadowNode = NoNode
+	pg.ShadowFrame = NoFrame
+	s.shadowFrames--
+	if s.Nodes[dst].Tier > sn.Tier {
+		s.Counters.Demotions++
+	}
+	s.Counters.ShadowHits++
+	return MigrationResult{OK: true, From: src, To: dst, Cost: 0, Tax: s.Lat.MigrationTax}
+}
+
+// DropShadow releases the page's shadow frame (a write invalidated the
+// replica, lower-tier pressure reclaimed it, or the page is dying). No-op
+// without a shadow, so callers need not check first.
+func (s *System) DropShadow(pg *Page) {
+	if !pg.HasShadow() {
+		return
+	}
+	n := s.Nodes[pg.ShadowNode]
+	n.alloc.Free(pg.ShadowFrame, 0)
+	s.Counters.Frees[n.Tier]++
+	pg.ShadowNode = NoNode
+	pg.ShadowFrame = NoFrame
+	s.shadowFrames--
+	s.Counters.ShadowDrops++
+}

@@ -53,6 +53,11 @@ type System struct {
 	// unreachable; at simulation scale that trade is cheap.
 	descSlab []Page
 
+	// shadowFrames counts frames currently held by shadow copies
+	// (non-exclusive tiering): allocated but neither LRU-resident nor
+	// mapped. Machine-level invariant checks reconcile against it.
+	shadowFrames int
+
 	clock *sim.Clock
 }
 
@@ -60,7 +65,9 @@ type System struct {
 const descChunk = 1024
 
 // newPage returns a fresh zeroed descriptor from the slab with the unmapped
-// sentinel fields set (Space -1, birth timestamp stamped).
+// sentinel fields set (Space -1, no shadow — NodeID zero is a real node, so
+// the no-shadow state needs the explicit sentinel — birth timestamp
+// stamped).
 func (s *System) newPage() *Page {
 	if len(s.descSlab) == 0 {
 		s.descSlab = make([]Page, descChunk)
@@ -68,6 +75,8 @@ func (s *System) newPage() *Page {
 	pg := &s.descSlab[0]
 	s.descSlab = s.descSlab[1:]
 	pg.Space = -1
+	pg.ShadowNode = NoNode
+	pg.ShadowFrame = NoFrame
 	pg.BornAt = s.clock.Now()
 	return pg
 }
@@ -187,11 +196,16 @@ func (s *System) Alloc(order []Tier) *Page {
 // DefaultOrder is the standard birth placement: DRAM first, then PM.
 func DefaultOrder() []Tier { return []Tier{TierDRAM, TierPM} }
 
-// Free releases the page's frames. The page must already be off all LRU
-// lists and unmapped; the descriptor must not be used afterwards.
+// Free releases the page's frames — and any shadow copy still held, so a
+// shadowed page's death cannot leak its second frame. The page must already
+// be off all LRU lists and unmapped; the descriptor must not be used
+// afterwards.
 func (s *System) Free(pg *Page) {
 	if pg.OnList() {
 		panic("mem: freeing page still on an LRU list")
+	}
+	if pg.HasShadow() {
+		s.DropShadow(pg)
 	}
 	n := s.Nodes[pg.Node]
 	n.alloc.Free(pg.Frame, int(pg.Order))
@@ -244,6 +258,12 @@ func (s *System) Migrate(pg *Page, dst NodeID) MigrationResult {
 	if f == NoFrame {
 		s.Counters.MigrateFails++
 		return MigrationResult{From: src, To: dst}
+	}
+	// An ordinary migration ends any non-exclusive residency: the shadow
+	// protocol only spans promotion → next write or shadow demotion, so a
+	// page moving by the regular path gives its retained copy back.
+	if pg.HasShadow() {
+		s.DropShadow(pg)
 	}
 	sn := s.Nodes[src]
 	sn.alloc.Free(pg.Frame, int(pg.Order))

@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"fmt"
+
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/sim"
+)
+
+// BandwidthGateConfig tunes the TierBPF-style promotion admission gate.
+type BandwidthGateConfig struct {
+	// Window is the virtual-time accounting window over which migration
+	// bandwidth consumption is measured (default 1 s).
+	Window sim.Duration
+	// Budget is the fraction of each window migration copies may consume
+	// before the gate starts rejecting (default 0.05 — migration traffic
+	// beyond a few percent of wall time means the copy engine is stealing
+	// the bandwidth the promotions were meant to win back).
+	Budget float64
+	// HardLimit is the multiple of Budget beyond which everything is
+	// rejected, including high-benefit candidates (default 2).
+	HardLimit float64
+}
+
+// DefaultBandwidthGateConfig returns the default operating point.
+func DefaultBandwidthGateConfig() BandwidthGateConfig {
+	return BandwidthGateConfig{Window: 1 * sim.Second, Budget: 0.05, HardLimit: 2}
+}
+
+// BandwidthGate is a TierBPF-style admission controller for promotions
+// (arXiv:2604.12300): scanning daemons consult it before each migration,
+// and it tracks how much virtual time the machine's copy engine has spent
+// inside the current accounting window. Under the budget everything is
+// admitted; over it only high-expected-benefit candidates pass (dirty
+// pages, whose continued residence in PM pays the tier's expensive writes);
+// past the hard limit nothing does. Rejected pages return to their LRU and
+// may requalify once bandwidth pressure subsides.
+//
+// The gate reads only the machine's MigrationBusy counter and virtual
+// clock, so it is deterministic and adds no state to any page.
+type BandwidthGate struct {
+	cfg BandwidthGateConfig
+	m   *machine.Machine
+
+	// The current window: where it started and how much migration busy
+	// time the machine had accumulated at that point.
+	windowStart sim.Time
+	busyAtStart sim.Duration
+
+	// Admits/Rejects count gate decisions (rejects also aggregate into
+	// mem.Counters.AdmissionRejects).
+	Admits  int64
+	Rejects int64
+}
+
+// NewBandwidthGate returns an admission gate with the given configuration.
+func NewBandwidthGate(cfg BandwidthGateConfig) *BandwidthGate {
+	if cfg.Window <= 0 {
+		cfg.Window = 1 * sim.Second
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 0.05
+	}
+	if cfg.HardLimit < 1 {
+		cfg.HardLimit = 2
+	}
+	return &BandwidthGate{cfg: cfg}
+}
+
+// Name implements machine.PromotionGate.
+func (g *BandwidthGate) Name() string {
+	return fmt.Sprintf("bandwidth-gate(%.0f%%/%v)", g.cfg.Budget*100, g.cfg.Window)
+}
+
+// Attach implements machine.PromotionGate.
+func (g *BandwidthGate) Attach(m *machine.Machine) { g.m = m }
+
+// Admit implements machine.PromotionGate.
+func (g *BandwidthGate) Admit(pg *mem.Page, now sim.Time) bool {
+	if now-g.windowStart >= sim.Time(g.cfg.Window) {
+		g.windowStart = now
+		g.busyAtStart = g.m.Mem.Counters.MigrationBusy
+	}
+	spent := g.m.Mem.Counters.MigrationBusy - g.busyAtStart
+	budget := sim.Duration(float64(g.cfg.Window) * g.cfg.Budget)
+	switch {
+	case spent < budget:
+		g.Admits++
+		return true
+	case spent < sim.Duration(float64(budget)*g.cfg.HardLimit) && pg.Flags.Has(mem.FlagDirty):
+		// Over budget: spend what remains only on the candidates whose
+		// stay in PM is costliest.
+		g.Admits++
+		return true
+	default:
+		g.Rejects++
+		g.m.Mem.Counters.AdmissionRejects++
+		return false
+	}
+}
+
+var _ machine.PromotionGate = (*BandwidthGate)(nil)

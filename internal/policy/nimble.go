@@ -13,6 +13,10 @@ type NimbleConfig struct {
 	ScanInterval sim.Duration
 	// ScanBatch is pages examined per wakeup (1024 in the paper).
 	ScanBatch int
+	// Gate, when non-nil, is a promotion admission controller consulted
+	// once per candidate before any migration work is spent. A rejected
+	// candidate returns to its active list.
+	Gate machine.PromotionGate
 }
 
 // DefaultNimbleConfig mirrors the paper's settings.
@@ -52,8 +56,14 @@ func NewNimble(cfg NimbleConfig) *Nimble {
 	return &Nimble{cfg: cfg}
 }
 
-// Name implements machine.Policy.
-func (nb *Nimble) Name() string { return "nimble" }
+// Name implements machine.Policy. A gated instance reports its admission
+// controller so bake-off tables distinguish the variants.
+func (nb *Nimble) Name() string {
+	if nb.cfg.Gate != nil {
+		return "nimble+" + nb.cfg.Gate.Name()
+	}
+	return "nimble"
+}
 
 // SetScanInterval retunes the daemon period (Fig. 10 sweep).
 func (nb *Nimble) SetScanInterval(d sim.Duration) {
@@ -66,6 +76,9 @@ func (nb *Nimble) SetScanInterval(d sim.Duration) {
 // Attach starts the per-node scanning daemon.
 func (nb *Nimble) Attach(m *machine.Machine) {
 	nb.Base.Attach(m)
+	if nb.cfg.Gate != nil {
+		nb.cfg.Gate.Attach(m)
+	}
 	for _, n := range m.Mem.Nodes {
 		node := n.ID
 		var d *sim.Daemon
@@ -103,6 +116,12 @@ func (nb *Nimble) scan(node mem.NodeID) {
 		m.Metrics.QueueDepth("promote_queue_depth", len(candidates), m.Clock.Now())
 	}
 	for _, pg := range candidates {
+		if nb.cfg.Gate != nil && !nb.cfg.Gate.Admit(pg, m.Clock.Now()) {
+			// Refused by the admission gate: back to the active list
+			// without spending a migration attempt.
+			m.Vecs[pg.Node].Putback(pg)
+			continue
+		}
 		if nb.promoteIsolated(pg) {
 			nb.Promotions++
 		} else {

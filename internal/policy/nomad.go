@@ -1,0 +1,338 @@
+package policy
+
+import (
+	"multiclock/internal/lru"
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/sim"
+)
+
+// NomadConfig tunes the Nomad-style non-exclusive tiering policy.
+type NomadConfig struct {
+	// ScanInterval is the promotion daemon's wakeup period (1 s to match
+	// the other systems).
+	ScanInterval sim.Duration
+	// ScanBatch is pages examined per wakeup.
+	ScanBatch int
+}
+
+// DefaultNomadConfig matches the shared operating point of the bake-off.
+func DefaultNomadConfig() NomadConfig {
+	return NomadConfig{ScanInterval: 1 * sim.Second, ScanBatch: 1024}
+}
+
+// nomadTx is one in-flight transactional promotion: begun at a daemon
+// wakeup, committed (or aborted by an intervening write) at the next.
+type nomadTx struct {
+	aborted bool
+}
+
+// Nomad implements Nomad-style non-exclusive memory tiering (transactional
+// page migration, arXiv:2401.13154) on MULTI-CLOCK's selection machinery:
+// pages qualify for promotion through the same two-touch promote list, but
+// promotion retains the PM source frame as a shadow copy instead of freeing
+// it. While the page stays clean, demoting it back is free — a remap onto
+// the still-valid shadow with no page copy. The copy itself is transactional
+// and spans two daemon wakeups: a write landing between begin and commit
+// aborts the transaction and the page falls back to an ordinary exclusive
+// migration.
+type Nomad struct {
+	machine.Base
+	cfg     NomadConfig
+	daemons []*sim.Daemon
+
+	// inflight tracks begun-but-uncommitted promotion transactions. Indexed
+	// only, never iterated (determinism). Entries die at commit, abort, or
+	// page death.
+	inflight map[*mem.Page]*nomadTx
+
+	// shadowed is a lazily-invalidated FIFO of pages that committed a
+	// shadow promotion, in commit order: the reclaim scan for PM pressure
+	// walks it oldest-first. Entries whose shadow is already gone (write,
+	// ordinary migration, or page death) are skipped and compacted away.
+	shadowed []*mem.Page
+
+	// Transaction stats for the bake-off report.
+	TxBegins    int64
+	TxCommits   int64
+	TxAborts    int64
+	FreeDemotes int64
+
+	// Reusable candidate buffers; promoteBuf and demoteBuf stay distinct
+	// because makeRoom nests inside the promotion loop.
+	promoteBuf []*mem.Page
+	demoteBuf  []*mem.Page
+}
+
+// NewNomad returns the Nomad-style non-exclusive tiering policy.
+func NewNomad(cfg NomadConfig) *Nomad {
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = 1 * sim.Second
+	}
+	if cfg.ScanBatch <= 0 {
+		cfg.ScanBatch = 1024
+	}
+	return &Nomad{cfg: cfg, inflight: make(map[*mem.Page]*nomadTx)}
+}
+
+// Name implements machine.Policy.
+func (nd *Nomad) Name() string { return "nomad" }
+
+// SetScanInterval retunes the daemon period (interval sweeps).
+func (nd *Nomad) SetScanInterval(d sim.Duration) {
+	nd.cfg.ScanInterval = d
+	for _, dm := range nd.daemons {
+		dm.SetInterval(d)
+	}
+}
+
+// Attach starts the per-node scanning daemon.
+func (nd *Nomad) Attach(m *machine.Machine) {
+	nd.Base.Attach(m)
+	for _, n := range m.Mem.Nodes {
+		node := n.ID
+		var d *sim.Daemon
+		d = m.Clock.StartDaemon("nomad-scan", nd.cfg.ScanInterval, func(now sim.Time) {
+			nd.scan(node)
+			m.FinishDaemonPass(d)
+		})
+		nd.daemons = append(nd.daemons, d)
+	}
+}
+
+// Stop halts the daemons.
+func (nd *Nomad) Stop() {
+	for _, d := range nd.daemons {
+		d.Stop()
+	}
+}
+
+// Access watches writes: a write aborts any in-flight promotion transaction
+// on the page (the replica being copied is stale) and invalidates a
+// committed shadow (the retained copy no longer matches). Keeping the
+// invalidation here means HasShadow implies the page is clean relative to
+// its shadow, so shadow demotions never need a dirtiness check.
+func (nd *Nomad) Access(pg *mem.Page, write bool) sim.Duration {
+	if write {
+		if tx := nd.inflight[pg]; tx != nil {
+			tx.aborted = true
+		}
+		if pg.HasShadow() {
+			nd.M.Mem.DropShadow(pg)
+		}
+	}
+	return nd.Base.Access(pg, write)
+}
+
+// PageFreed drops transaction bookkeeping for a dying page (the shadow frame
+// itself is released by mem.Free).
+func (nd *Nomad) PageFreed(pg *mem.Page) {
+	delete(nd.inflight, pg)
+}
+
+// scan is one daemon wakeup: MULTI-CLOCK aging, then the two-phase
+// promotion protocol over the promote list.
+func (nd *Nomad) scan(node mem.NodeID) {
+	m := nd.M
+	vec := m.Vecs[node]
+	stats := vec.ScanCycle(nd.cfg.ScanBatch)
+	nd.ScanTax(stats)
+
+	tier := m.Mem.Nodes[node].Tier
+	candidates := vec.AppendPromote(nd.promoteBuf[:0], -1)
+	nd.promoteBuf = candidates[:0]
+	if m.Metrics != nil {
+		m.Metrics.QueueDepth("promote_queue_depth", len(candidates), m.Clock.Now())
+	}
+	if tier == mem.TierDRAM {
+		// Top tier: promote-list residents are simply the hottest pages
+		// where they are.
+		for _, pg := range candidates {
+			lru.ClearPromote(pg)
+			vec.Putback(pg)
+		}
+		if m.Mem.Nodes[node].UnderLow() {
+			nd.makeRoom()
+		}
+		return
+	}
+
+	for _, pg := range candidates {
+		tx := nd.inflight[pg]
+		switch {
+		case pg.IsHuge():
+			// Shadow frames cover base pages only; compound pages take the
+			// exclusive path directly.
+			lru.ClearPromote(pg)
+			if !nd.promoteExclusive(pg) {
+				vec.Putback(pg)
+			}
+		case tx == nil:
+			// Phase 1: begin the copy. The page keeps serving accesses
+			// from PM while the replica is "in flight" until the next
+			// wakeup; RequeuePromote re-arms the referenced flag so the
+			// wait survives the intervening scan cycle's decay.
+			nd.inflight[pg] = &nomadTx{}
+			nd.TxBegins++
+			lru.RequeuePromote(pg)
+			vec.Putback(pg)
+		default:
+			// Phase 2: commit, or abort if a write raced the copy.
+			delete(nd.inflight, pg)
+			lru.ClearPromote(pg)
+			if tx.aborted {
+				nd.TxAborts++
+				// The replica is stale; retry as an ordinary exclusive
+				// migration (a fresh copy with nothing left to invalidate).
+				if !nd.promoteExclusive(pg) {
+					vec.Putback(pg)
+				}
+				continue
+			}
+			if nd.promoteShadow(pg) {
+				nd.TxCommits++
+			} else {
+				// Destination full or pinned: drop to the active list like
+				// a failed MULTI-CLOCK promotion.
+				vec.Putback(pg)
+			}
+		}
+	}
+
+	// Amortized compaction: the shadowed FIFO only shrinks during PM
+	// pressure, so trim dead entries once they dominate.
+	if live := m.Mem.ShadowFrames(); len(nd.shadowed) > 2*live+64 {
+		kept := nd.shadowed[:0]
+		for _, pg := range nd.shadowed {
+			if pg.HasShadow() {
+				kept = append(kept, pg)
+			}
+		}
+		nd.shadowed = kept
+	}
+}
+
+// promoteShadow commits one transactional promotion: the page moves to DRAM
+// and its PM frame stays behind as the shadow.
+func (nd *Nomad) promoteShadow(pg *mem.Page) bool {
+	dst, ok := nd.promoteDst()
+	if !ok {
+		return false
+	}
+	if !nd.M.PromoteShadowIsolated(pg, dst) {
+		return false
+	}
+	nd.shadowed = append(nd.shadowed, pg)
+	return true
+}
+
+// promoteExclusive is the fallback ordinary migration (aborted transactions
+// and compound pages).
+func (nd *Nomad) promoteExclusive(pg *mem.Page) bool {
+	dst, ok := nd.promoteDst()
+	if !ok {
+		return false
+	}
+	return nd.M.MigrateIsolated(pg, dst)
+}
+
+// promoteDst picks the DRAM destination, demoting cold DRAM pages first
+// when the tier is under pressure.
+func (nd *Nomad) promoteDst() (mem.NodeID, bool) {
+	m := nd.M
+	dst := pickVictimNode(m, mem.TierDRAM)
+	if dst == mem.NoNode {
+		nd.makeRoom()
+		dst = pickVictimNode(m, mem.TierDRAM)
+		if dst == mem.NoNode {
+			return mem.NoNode, false
+		}
+	}
+	return dst, true
+}
+
+// makeRoom demotes cold pages from pressured DRAM nodes — for free when the
+// victim still holds a valid shadow (Nomad's headline win: a clean shadowed
+// page demotes by remap alone), by ordinary migration otherwise.
+func (nd *Nomad) makeRoom() {
+	m := nd.M
+	for _, id := range m.Mem.TierNodes(mem.TierDRAM) {
+		n := m.Mem.Nodes[id]
+		if !n.UnderHigh() {
+			continue
+		}
+		vec := m.Vecs[id]
+		need := n.WM.High - n.FreeFrames()
+		if need > nd.cfg.ScanBatch {
+			need = nd.cfg.ScanBatch
+		}
+		vec.BalanceActive(1, nd.cfg.ScanBatch)
+		victims := vec.AppendDemoteCandidates(nd.demoteBuf[:0], need)
+		for _, victim := range victims {
+			if m.DemoteShadowIsolated(victim) {
+				nd.FreeDemotes++
+				continue
+			}
+			pmDst := m.Mem.PickNode(mem.TierPM)
+			if pmDst == mem.NoNode || !m.MigrateIsolated(victim, pmDst) {
+				m.SwapOut(victim)
+			}
+		}
+		nd.demoteBuf = victims[:0]
+	}
+}
+
+// Pressure relieves DRAM pressure by demotion and PM pressure by giving
+// shadow frames back — the non-exclusive copies are strictly expendable.
+func (nd *Nomad) Pressure(node mem.NodeID) {
+	if nd.M.Mem.Nodes[node].Tier == mem.TierDRAM {
+		nd.makeRoom()
+		return
+	}
+	nd.reclaimShadows(node)
+}
+
+// reclaimShadows drops shadow copies held on the pressured node,
+// oldest-committed first, until it climbs back above its low watermark.
+func (nd *Nomad) reclaimShadows(node mem.NodeID) {
+	m := nd.M
+	n := m.Mem.Nodes[node]
+	kept := nd.shadowed[:0]
+	for _, pg := range nd.shadowed {
+		if !pg.HasShadow() {
+			continue
+		}
+		if pg.ShadowNode == node && n.UnderLow() {
+			m.Mem.DropShadow(pg)
+			continue
+		}
+		kept = append(kept, pg)
+	}
+	nd.shadowed = kept
+}
+
+// DirectReclaim frees shadow frames before touching any mapped page: they
+// cost nothing to give up.
+func (nd *Nomad) DirectReclaim(frames int) int {
+	freed := 0
+	kept := nd.shadowed[:0]
+	for _, pg := range nd.shadowed {
+		if !pg.HasShadow() {
+			continue
+		}
+		if freed < frames {
+			nd.M.Mem.DropShadow(pg)
+			freed++
+			continue
+		}
+		kept = append(kept, pg)
+	}
+	nd.shadowed = kept
+	if freed < frames {
+		freed += nd.Base.DirectReclaim(frames - freed)
+	}
+	return freed
+}
+
+var _ machine.Policy = (*Nomad)(nil)
+var _ machine.Stopper = (*Nomad)(nil)

@@ -1,0 +1,401 @@
+package policy
+
+import (
+	"multiclock/internal/lru"
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/sim"
+)
+
+// S3FIFOConfig tunes the S3-FIFO promote-candidate selector.
+type S3FIFOConfig struct {
+	// ScanInterval is the selector daemon's wakeup period.
+	ScanInterval sim.Duration
+	// ScanBatch bounds the queue entries processed per wakeup (and the
+	// CLOCK aging batch on the demotion side).
+	ScanBatch int
+	// SmallFrac is the small queue's share of a PM node's frames
+	// (default 0.1, the S3-FIFO paper's split).
+	SmallFrac float64
+	// PromoteFreq is the access count at which a main-queue page is
+	// promoted to DRAM (default 2 — matching MULTI-CLOCK's two-touch bar;
+	// frequencies saturate at 3 as in S3-FIFO).
+	PromoteFreq uint8
+}
+
+// DefaultS3FIFOConfig matches the shared operating point of the bake-off.
+func DefaultS3FIFOConfig() S3FIFOConfig {
+	return S3FIFOConfig{
+		ScanInterval: 1 * sim.Second,
+		ScanBatch:    1024,
+		SmallFrac:    0.1,
+		PromoteFreq:  2,
+	}
+}
+
+// Selector membership lives in the low bits of the state byte, the
+// saturating access frequency (0..3) in the high nibble, and one "fresh"
+// bit marks a page admitted by the very access being served (a birth
+// fault): that access is the insertion itself, not a reuse, so the first
+// frequency bump is absorbed. One map holds it all so the access fast path
+// pays a single lookup.
+const (
+	s3None  uint8 = 0
+	s3Small uint8 = 1
+	s3Main  uint8 = 2
+	s3Ghost uint8 = 3
+
+	s3MemberMask uint8 = 0x07
+	s3Fresh      uint8 = 0x08
+	s3FreqShift        = 4
+	s3FreqMax    uint8 = 3
+)
+
+// s3queues is the per-PM-node queue triple. The small and main queues hold
+// PM-resident pages; the ghost queue holds identities of pages that left
+// small without demonstrated reuse. All three are lazily invalidated: the
+// state map is authoritative, and a popped entry whose recorded membership
+// no longer names that queue is stale and skipped.
+type s3queues struct {
+	small, main, ghost []*mem.Page
+	smallCap, ghostCap int
+	mainCap            int
+}
+
+// S3FIFO selects promotion candidates with the S3-FIFO queue structure
+// (small/main/ghost FIFOs with lazy promotion and quick demotion) instead
+// of CLOCK aging: pages arriving on a PM node enter a small probationary
+// FIFO; leaving it without a recorded access costs them a ghost entry,
+// with one or more accesses they graduate to the main FIFO; a ghost hit —
+// an access to a recently "quick-demoted" identity — re-enters main
+// directly. Main-queue pages whose saturating access count reaches
+// PromoteFreq migrate to DRAM. Arrivals are observed through the lru.Vec
+// transition-hook surface; DRAM aging and the demotion side reuse the
+// vanilla recency CLOCK.
+type S3FIFO struct {
+	machine.Base
+	cfg     S3FIFOConfig
+	daemons []*sim.Daemon
+
+	// queues is indexed by NodeID; nil for DRAM nodes.
+	queues []*s3queues
+	// state maps each tracked page to membership|freq. Indexed only, never
+	// iterated (determinism); entries die with the page or at ghost
+	// eviction.
+	state map[*mem.Page]uint8
+
+	// Selector stats for the bake-off report.
+	SmallToMain int64
+	GhostHits   int64
+	Promotions  int64
+
+	promoteBuf []*mem.Page
+	demoteBuf  []*mem.Page
+}
+
+// NewS3FIFO returns the S3-FIFO selector policy.
+func NewS3FIFO(cfg S3FIFOConfig) *S3FIFO {
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = 1 * sim.Second
+	}
+	if cfg.ScanBatch <= 0 {
+		cfg.ScanBatch = 1024
+	}
+	if cfg.SmallFrac <= 0 || cfg.SmallFrac >= 1 {
+		cfg.SmallFrac = 0.1
+	}
+	if cfg.PromoteFreq == 0 {
+		cfg.PromoteFreq = 2
+	}
+	if cfg.PromoteFreq > s3FreqMax {
+		cfg.PromoteFreq = s3FreqMax
+	}
+	return &S3FIFO{cfg: cfg, state: make(map[*mem.Page]uint8)}
+}
+
+// Name implements machine.Policy.
+func (s *S3FIFO) Name() string { return "s3fifo" }
+
+// SetScanInterval retunes the daemon period (interval sweeps).
+func (s *S3FIFO) SetScanInterval(d sim.Duration) {
+	s.cfg.ScanInterval = d
+	for _, dm := range s.daemons {
+		dm.SetInterval(d)
+	}
+}
+
+// Attach sizes the per-PM-node queues, registers the arrival hook on each
+// PM vec, and starts the per-node daemons.
+func (s *S3FIFO) Attach(m *machine.Machine) {
+	s.Base.Attach(m)
+	s.queues = make([]*s3queues, len(m.Mem.Nodes))
+	for _, n := range m.Mem.Nodes {
+		node := n.ID
+		if n.Tier == mem.TierPM {
+			smallCap := int(float64(n.Frames) * s.cfg.SmallFrac)
+			if smallCap < 8 {
+				smallCap = 8
+			}
+			s.queues[node] = &s3queues{
+				smallCap: smallCap,
+				mainCap:  n.Frames - smallCap,
+				ghostCap: n.Frames / 2,
+			}
+			m.Vecs[node].AddHook(s)
+		}
+		var d *sim.Daemon
+		d = m.Clock.StartDaemon("s3fifo-scan", s.cfg.ScanInterval, func(now sim.Time) {
+			s.scan(node)
+			m.FinishDaemonPass(d)
+		})
+		s.daemons = append(s.daemons, d)
+	}
+}
+
+// Stop halts the daemons.
+func (s *S3FIFO) Stop() {
+	for _, d := range s.daemons {
+		d.Stop()
+	}
+}
+
+// PageTransition implements lru.Hook: PM arrivals enter the small queue.
+// Only policy-internal state is touched, per the hook contract.
+func (s *S3FIFO) PageTransition(pg *mem.Page, node mem.NodeID, from, to lru.State, cause lru.Cause) {
+	q := s.queues[node]
+	if q == nil {
+		return
+	}
+	switch cause {
+	case lru.CauseAdd:
+		// Birth (or swap-in) on a PM node: the triggering access is the
+		// insertion, not a reuse.
+		s.admit(q, pg, true)
+	case lru.CausePutback:
+		// A page the machine putback on a PM vec it is not tracked on is
+		// an arrival too (a demotion from DRAM); putbacks of pages already
+		// tracked here — failed promotions, parked candidates — are not.
+		// Any access after a demotion arrival is a genuine reuse.
+		if s.state[pg]&s3MemberMask == s3None {
+			s.admit(q, pg, false)
+		}
+	case lru.CauseDelete:
+		// Unmap/swap-out: forget the page; stale queue entries resolve
+		// lazily. (Descriptors are never recycled, so no ABA hazard.)
+		delete(s.state, pg)
+	}
+}
+
+// admit enters a base page into the small probationary queue with frequency
+// zero. Compound pages stay outside the selector (they migrate only through
+// the demotion machinery, as in the cache-oriented original).
+func (s *S3FIFO) admit(q *s3queues, pg *mem.Page, fresh bool) {
+	if pg.IsHuge() {
+		return
+	}
+	v := s3Small
+	if fresh {
+		v |= s3Fresh
+	}
+	s.state[pg] = v
+	q.small = append(q.small, pg)
+}
+
+// Access bumps the tracked page's saturating frequency; an access to a
+// ghost identity is the S3-FIFO re-insertion signal and moves the page
+// directly to the main queue.
+func (s *S3FIFO) Access(pg *mem.Page, write bool) sim.Duration {
+	if v, ok := s.state[pg]; ok {
+		switch {
+		case v&s3MemberMask == s3Ghost:
+			// Ghost hit: the quick demotion was wrong, skip probation.
+			s.GhostHits++
+			s.state[pg] = s3Main | 1<<s3FreqShift
+			if q := s.queues[pg.Node]; q != nil {
+				q.main = append(q.main, pg)
+			}
+		case v&s3Fresh != 0:
+			// The admitting access itself: absorbed, not a reuse.
+			s.state[pg] = v &^ s3Fresh
+		case v>>s3FreqShift < s3FreqMax:
+			s.state[pg] = v + 1<<s3FreqShift
+		}
+	}
+	return s.Base.Access(pg, write)
+}
+
+// PageFreed forgets a dying page.
+func (s *S3FIFO) PageFreed(pg *mem.Page) {
+	delete(s.state, pg)
+}
+
+// scan is one daemon wakeup. Every node runs vanilla CLOCK aging (the
+// demotion side still wants a meaningful active/inactive split) and flushes
+// any promote-list residue from supervised-access marking back to the
+// active list — candidate selection belongs to the queues alone. PM nodes
+// then run the queue maintenance and promotion pass.
+func (s *S3FIFO) scan(node mem.NodeID) {
+	m := s.M
+	vec := m.Vecs[node]
+	stats := vec.ScanCycleRecency(s.cfg.ScanBatch)
+
+	flushed := vec.AppendPromote(s.promoteBuf[:0], -1)
+	s.promoteBuf = flushed[:0]
+	for _, pg := range flushed {
+		lru.ClearPromote(pg)
+		vec.Putback(pg)
+	}
+	stats.Scanned += len(flushed)
+
+	q := s.queues[node]
+	if q == nil {
+		// DRAM node: aging only, plus opportunistic pressure relief.
+		s.ScanTax(stats)
+		if m.Mem.Nodes[node].UnderLow() {
+			s.makeRoom()
+		}
+		return
+	}
+
+	stats.Scanned += s.evictSmall(q)
+	stats.Scanned += s.promoteFromMain(q)
+	s.ScanTax(stats)
+}
+
+// evictSmall drains the small queue down to its capacity: entries with
+// demonstrated reuse graduate to main, the rest quick-demote to ghost. It
+// returns the number of entries examined (daemon work accounting).
+func (s *S3FIFO) evictSmall(q *s3queues) int {
+	work := 0
+	for len(q.small) > q.smallCap && work < s.cfg.ScanBatch {
+		pg := q.small[0]
+		q.small = q.small[1:]
+		work++
+		v, ok := s.state[pg]
+		if !ok || v&s3MemberMask != s3Small {
+			continue // stale: the page died or was re-admitted elsewhere
+		}
+		if v>>s3FreqShift > 0 {
+			s.SmallToMain++
+			s.state[pg] = s3Main | v&^s3MemberMask
+			q.main = append(q.main, pg)
+		} else {
+			s.state[pg] = s3Ghost
+			q.ghost = append(q.ghost, pg)
+			s.trimGhost(q)
+		}
+	}
+	return work
+}
+
+// trimGhost evicts the oldest ghost identities beyond capacity; an evicted
+// identity is forgotten entirely.
+func (s *S3FIFO) trimGhost(q *s3queues) {
+	for len(q.ghost) > q.ghostCap {
+		pg := q.ghost[0]
+		q.ghost = q.ghost[1:]
+		if s.state[pg] == s3Ghost {
+			delete(s.state, pg)
+		}
+	}
+}
+
+// promoteFromMain examines up to ScanBatch main-queue entries: pages at or
+// above the promotion frequency migrate to DRAM, the rest rotate to the
+// tail (with a frequency decay when the queue is over capacity, the
+// original's eviction pressure). Returns entries examined.
+func (s *S3FIFO) promoteFromMain(q *s3queues) int {
+	m := s.M
+	limit := len(q.main)
+	if limit > s.cfg.ScanBatch {
+		limit = s.cfg.ScanBatch
+	}
+	depth := 0
+	for i := 0; i < limit; i++ {
+		pg := q.main[0]
+		q.main = q.main[1:]
+		v, ok := s.state[pg]
+		if !ok || v&s3MemberMask != s3Main {
+			continue // stale
+		}
+		freq := v >> s3FreqShift
+		if freq < s.cfg.PromoteFreq || pg.Flags.Has(mem.FlagUnevictable) ||
+			!pg.OnList() || pg.Flags.Has(mem.FlagIsolated) {
+			// Not (or not yet) a candidate: rotate, decaying the recorded
+			// frequency when the queue is over capacity so stale heat
+			// cannot pin a page near the promotion bar forever.
+			if len(q.main) >= q.mainCap && freq > 0 {
+				v -= 1 << s3FreqShift
+				s.state[pg] = v
+			}
+			q.main = append(q.main, pg)
+			continue
+		}
+		depth++
+		m.Vecs[pg.Node].Isolate(pg)
+		if s.promoteIsolated(pg) {
+			s.Promotions++
+			delete(s.state, pg)
+		} else {
+			// Destination full: put the page back and keep it queued.
+			m.Vecs[pg.Node].Putback(pg)
+			q.main = append(q.main, pg)
+		}
+	}
+	if m.Metrics != nil {
+		m.Metrics.QueueDepth("promote_queue_depth", depth, m.Clock.Now())
+	}
+	return limit
+}
+
+// promoteIsolated exchanges the page into DRAM, demoting cold DRAM pages
+// first if no free frame exists.
+func (s *S3FIFO) promoteIsolated(pg *mem.Page) bool {
+	m := s.M
+	dst := pickVictimNode(m, mem.TierDRAM)
+	if dst == mem.NoNode {
+		s.makeRoom()
+		dst = pickVictimNode(m, mem.TierDRAM)
+		if dst == mem.NoNode {
+			return false
+		}
+	}
+	return m.MigrateIsolated(pg, dst)
+}
+
+// makeRoom demotes cold pages (by the recency lists) from pressured DRAM
+// nodes to PM.
+func (s *S3FIFO) makeRoom() {
+	m := s.M
+	for _, id := range m.Mem.TierNodes(mem.TierDRAM) {
+		n := m.Mem.Nodes[id]
+		if !n.UnderHigh() {
+			continue
+		}
+		vec := m.Vecs[id]
+		need := n.WM.High - n.FreeFrames()
+		if need > s.cfg.ScanBatch {
+			need = s.cfg.ScanBatch
+		}
+		vec.BalanceActive(1, s.cfg.ScanBatch)
+		victims := vec.AppendDemoteCandidates(s.demoteBuf[:0], need)
+		for _, victim := range victims {
+			pmDst := m.Mem.PickNode(mem.TierPM)
+			if pmDst == mem.NoNode || !m.MigrateIsolated(victim, pmDst) {
+				m.SwapOut(victim)
+			}
+		}
+		s.demoteBuf = victims[:0]
+	}
+}
+
+// Pressure reacts to allocation pressure on DRAM like kswapd.
+func (s *S3FIFO) Pressure(node mem.NodeID) {
+	if s.M.Mem.Nodes[node].Tier == mem.TierDRAM {
+		s.makeRoom()
+	}
+}
+
+var _ machine.Policy = (*S3FIFO)(nil)
+var _ machine.Stopper = (*S3FIFO)(nil)
+var _ lru.Hook = (*S3FIFO)(nil)

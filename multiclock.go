@@ -62,6 +62,19 @@ const (
 	// PolicyAMPRandom is AMP's random selector, the profiling-cost control
 	// (extension).
 	PolicyAMPRandom Policy = "amp-random"
+	// PolicyNomad is Nomad-style non-exclusive tiering: promotion keeps a
+	// PM shadow copy so clean pages demote for free (extension).
+	PolicyNomad Policy = "nomad"
+	// PolicyS3FIFO selects promotion candidates with S3-FIFO's
+	// small/main/ghost queues instead of the CLOCK promote ladder
+	// (extension).
+	PolicyS3FIFO Policy = "s3fifo"
+	// PolicyMultiClockGated is MULTI-CLOCK with a TierBPF-style migration
+	// bandwidth admission gate in front of kpromoted (extension).
+	PolicyMultiClockGated Policy = "multiclock-gated"
+	// PolicyNimbleGated is the Nimble baseline behind the same admission
+	// gate (extension).
+	PolicyNimbleGated Policy = "nimble-gated"
 )
 
 // Policies lists every selectable policy.
@@ -71,9 +84,14 @@ func Policies() []Policy {
 
 // ExtensionPolicies lists the additional baselines this reproduction can
 // run that the paper could not deploy (§II-D): Thermostat-style region
-// tiering and the AMP selector family.
+// tiering, the AMP selector family, and the competitor policies from
+// related work (Nomad shadow tiering, S3-FIFO selection, bandwidth-gated
+// admission control).
 func ExtensionPolicies() []Policy {
-	return []Policy{PolicyThermostat, PolicyAMPLFU, PolicyAMPLRU, PolicyAMPRandom}
+	return []Policy{
+		PolicyThermostat, PolicyAMPLFU, PolicyAMPLRU, PolicyAMPRandom,
+		PolicyNomad, PolicyS3FIFO, PolicyMultiClockGated, PolicyNimbleGated,
+	}
 }
 
 // ParsePolicy resolves a policy name (as CLIs accept it) to a Policy,

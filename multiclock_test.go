@@ -174,8 +174,15 @@ func TestCustomMultiClockConfig(t *testing.T) {
 func TestExtensionPolicies(t *testing.T) {
 	for _, p := range ExtensionPolicies() {
 		sys := NewSystem(Config{Policy: p, DRAMPages: 128, PMPages: 512})
-		if sys.PolicyName() != string(p) {
-			t.Fatalf("extension %q built %q", p, sys.PolicyName())
+		name := sys.PolicyName()
+		if base, gated := strings.CutSuffix(string(p), "-gated"); gated {
+			// Gated variants report their admission controller, e.g.
+			// "multiclock+bandwidth-gate(5%/1.000s)".
+			if !strings.HasPrefix(name, base+"+") {
+				t.Fatalf("gated extension %q built %q, want %q prefix", p, name, base+"+")
+			}
+		} else if name != string(p) {
+			t.Fatalf("extension %q built %q", p, name)
 		}
 		sys.Stop()
 	}

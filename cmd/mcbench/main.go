@@ -49,6 +49,10 @@ func main() {
 	benchOut := flag.String("bench-out", "", "run the simulator perf suite and write its JSON report (pages/sec, ns/access per workload) to this file")
 	benchCompare := flag.String("bench-compare", "", "with -bench-out: compare against this baseline BENCH_*.json and exit 1 on regression")
 	benchTolerance := flag.Float64("bench-tolerance", 5, "with -bench-compare: allowed slowdown factor vs the baseline before failing")
+	soak := flag.String("soak", "", "run a resumable soak of this policy over the paper's workload sequence (composes with -snapshot/-restore/-audit/-invariants-every)")
+	soakOps := flag.Int64("soak-ops", 0, "with -soak: ops per workload (0 = the -quick/full scale default)")
+	var snap cliutil.SnapshotFlags
+	snap.Register(flag.CommandLine)
 	flag.Parse()
 
 	chaos, err := fault.ParseSpec(*chaosSpec)
@@ -74,6 +78,22 @@ func main() {
 	if err := cliutil.ValidateExportFlags(*series, *lifecycleMod, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(cliutil.ExitUsage)
+	}
+	if err := snap.Validate(*series, *lifecycleMod); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(cliutil.ExitUsage)
+	}
+	if *soak == "" && (snap.Active() || snap.InvariantsEvery > 0 || *soakOps != 0) {
+		fmt.Fprintln(os.Stderr, "mcbench: -snapshot/-restore/-audit/-invariants-every/-soak-ops need -soak POLICY (experiments are not checkpointable)")
+		os.Exit(cliutil.ExitUsage)
+	}
+	if *soak != "" {
+		if *exp != "" || *benchOut != "" {
+			fmt.Fprintln(os.Stderr, "mcbench: -soak is its own mode; drop -exp/-bench-out")
+			os.Exit(cliutil.ExitUsage)
+		}
+		os.Exit(runSoak(*soak, bench.Options{Quick: *quick, Seed: *seed, Chaos: chaos},
+			*soakOps, snap, *metricsOut, *traceEvents))
 	}
 
 	if *benchOut != "" {

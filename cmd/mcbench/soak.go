@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"multiclock/internal/bench"
+	"multiclock/internal/cliutil"
+	"multiclock/internal/metrics"
+)
+
+// runSoak drives the resumable long-soak mode: one policy over the paper's
+// workload sequence, stepped op by op, with optional checkpoints, divergence
+// audit fingerprints and periodic invariant sweeps. A `-restore`d soak
+// resumes where the snapshot left off and prints the report the straight run
+// would have.
+func runSoak(policy string, opt bench.Options, ops int64, snap cliutil.SnapshotFlags, metricsOut string, traceEvents int) int {
+	cfg := bench.SoakConfigFor(policy, opt, ops, metricsOut != "", traceEvents)
+	hooks := bench.SoakHooks{
+		SnapshotPath:    snap.Snapshot,
+		SnapshotEvery:   snap.SnapshotEvery,
+		InvariantsEvery: snap.InvariantsEvery,
+	}
+	report, sess, err := bench.RunSoakCLI(cfg, snap.Restore, hooks, snap.Audit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
+		return 1
+	}
+	os.Stdout.WriteString(report)
+
+	if metricsOut != "" {
+		run := sess.MetricsRun("soak/" + sess.Cfg.Policy)
+		if run == nil {
+			fmt.Fprintln(os.Stderr, "mcbench: snapshot carries no telemetry registry; cannot export metrics")
+			return 1
+		}
+		data, err := metrics.ExportJSON(*run)
+		if err == nil {
+			err = os.WriteFile(metricsOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: writing metrics: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "metrics: 1 run(s) written to %s\n", metricsOut)
+	}
+	return 0
+}

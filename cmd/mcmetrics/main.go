@@ -15,6 +15,8 @@
 //	mcmetrics timeline 2/0x1000 out.json # page in address space 2
 //	mcmetrics pingpong --top 5 out.json  # worst migration ping-pongers
 //	mcmetrics series out.json            # time-series windows as CSV
+//	mcmetrics diverge a.jsonl b.jsonl    # bisect two -audit trails to the
+//	                                     # first diverging checkpoint
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 
 	"multiclock/internal/metrics"
 	"multiclock/internal/sim"
+	"multiclock/internal/snapshot"
 )
 
 func main() {
@@ -44,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return cmdPingpong(args[1:], stdout, stderr)
 		case "series":
 			return cmdSeries(args[1:], stdout, stderr)
+		case "diverge":
+			return cmdDiverge(args[1:], stdout, stderr)
 		}
 	}
 	return cmdSummary(args, stdout, stderr)
@@ -273,6 +278,42 @@ func cmdSeries(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// cmdDiverge bisects two audit trails (the JSONL files mcsim/mcbench write
+// under -audit) to the first checkpoint where any subsystem hash differs —
+// turning "two runs that should match don't" into the op, virtual time and
+// subsystems of the first divergence. Exit 0 means identical trails.
+func cmdDiverge(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcmetrics diverge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: mcmetrics diverge <a.jsonl> <b.jsonl>")
+		return 2
+	}
+	trails := make([][]snapshot.AuditRecord, 2)
+	for i := 0; i < 2; i++ {
+		f, err := os.Open(fs.Arg(i))
+		if err != nil {
+			fmt.Fprintf(stderr, "mcmetrics: %v\n", err)
+			return 1
+		}
+		trails[i], err = snapshot.ReadAudit(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "mcmetrics: %s: %v\n", fs.Arg(i), err)
+			return 1
+		}
+	}
+	d := snapshot.Diverge(trails[0], trails[1])
+	fmt.Fprintln(stdout, d.String())
+	if d == nil {
+		return 0
+	}
+	return 1
 }
 
 // parsePageSpec parses "va" or "space/va"; va accepts 0x-prefixed hex or

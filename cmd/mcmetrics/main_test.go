@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -189,5 +192,85 @@ func TestMissingFile(t *testing.T) {
 func TestUsageOnNoArgs(t *testing.T) {
 	if code, _, _ := exec(t); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestValidateTruncatedExport: a truncated export must fail validation with
+// the typed parse error naming the file and the byte offset, not a bare
+// "unexpected end of JSON input".
+func TestValidateTruncatedExport(t *testing.T) {
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	trunc := filepath.Join(dir, "truncated.json")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := exec(t, "-validate", trunc)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	for _, want := range []string{trunc, "not valid JSON", "byte offset"} {
+		if !strings.Contains(errOut, want) {
+			t.Fatalf("stderr missing %q:\n%s", want, errOut)
+		}
+	}
+
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("{\"version\": 1, \"runs\": [nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = exec(t, "-validate", garbage)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	for _, want := range []string{garbage, "not valid JSON", "byte offset"} {
+		if !strings.Contains(errOut, want) {
+			t.Fatalf("stderr missing %q:\n%s", want, errOut)
+		}
+	}
+}
+
+// TestDivergeCLI drives the audit-bisection subcommand on synthetic trails.
+func TestDivergeCLI(t *testing.T) {
+	dir := t.TempDir()
+	line := func(op int, mem string) string {
+		return fmt.Sprintf(`{"op":%d,"vtime_ns":%d,"hashes":{"mem":"%s","clock":"c"}}`, op, op*10, mem) + "\n"
+	}
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	if err := os.WriteFile(a, []byte(line(100, "x")+line(200, "y")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte(line(100, "x")+line(200, "y")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := exec(t, "diverge", a, b)
+	if code != 0 || !strings.Contains(out, "identical") {
+		t.Fatalf("identical trails: exit %d, out %q", code, out)
+	}
+
+	if err := os.WriteFile(b, []byte(line(100, "x")+line(200, "Z")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = exec(t, "diverge", a, b)
+	if code != 1 {
+		t.Fatalf("diverged trails: exit %d, want 1", code)
+	}
+	for _, want := range []string{"checkpoint 1", "op 200", "mem"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diverge output missing %q:\n%s", want, out)
+		}
+	}
+
+	code, _, errOut := exec(t, "diverge", a)
+	if code != 2 || !strings.Contains(errOut, "usage") {
+		t.Fatalf("missing-arg usage: exit %d, stderr %q", code, errOut)
+	}
+	code, _, errOut = exec(t, "diverge", a, filepath.Join(dir, "missing.jsonl"))
+	if code != 1 {
+		t.Fatalf("missing file: exit %d, want 1 (%s)", code, errOut)
 	}
 }

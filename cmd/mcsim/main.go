@@ -78,6 +78,8 @@ func main() {
 	traceEvents := flag.Int("trace-events", 0, "structured trace ring capacity in the metrics export (0 = no event trace)")
 	series := flag.Duration("series", 0, "sample a windowed occupancy time series on this virtual period into the metrics export (0 = off)")
 	lifecycleMod := flag.Uint64("lifecycle", 0, "trace per-page lifecycle spans with this sampling modulus (1 = every page, 0 = off) into the metrics export")
+	var snap cliutil.SnapshotFlags
+	snap.Register(flag.CommandLine)
 	flag.Parse()
 
 	chaos, err := multiclock.ParseFaultSpec(*chaosSpec)
@@ -86,6 +88,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := cliutil.ValidateExportFlags(*series, *lifecycleMod, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(cliutil.ExitUsage)
+	}
+	if err := snap.Validate(*series, *lifecycleMod); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(cliutil.ExitUsage)
 	}
@@ -113,6 +119,25 @@ func main() {
 	if *record != "" && len(policies) > 1 {
 		fmt.Fprintln(os.Stderr, "mcsim: -record needs a single policy (the trace is one machine's access stream)")
 		os.Exit(2)
+	}
+	if snap.Active() || snap.InvariantsEvery > 0 {
+		// Checkpointable runs (and periodic invariant sweeps) are one machine
+		// stepped op by op; the trace and graph paths have no
+		// quiescent-boundary driver.
+		if len(policies) > 1 {
+			fmt.Fprintln(os.Stderr, "mcsim: checkpointing (-snapshot/-restore/-audit) needs a single policy")
+			os.Exit(cliutil.ExitUsage)
+		}
+		if *gapbs != "" || *record != "" || *replay != "" {
+			fmt.Fprintln(os.Stderr, "mcsim: checkpointing supports YCSB workloads only (no -gapbs/-record/-replay)")
+			os.Exit(cliutil.ExitUsage)
+		}
+		cfg := config{
+			policy: policies[0], workload: *workload, sequence: *sequence,
+			records: *records, ops: *ops, dram: *dram, pm: *pm, scan: scan,
+			seed: *seed, chaos: chaos, metrics: *metricsOut != "", traceEvents: *traceEvents,
+		}
+		os.Exit(runSnapshotMode(cfg, snap, *metricsOut))
 	}
 
 	workers := *parallel

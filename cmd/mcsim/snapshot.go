@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"multiclock/internal/bench"
+	"multiclock/internal/cliutil"
+	"multiclock/internal/metrics"
+	"multiclock/internal/ycsb"
+)
+
+// runSnapshotMode drives a checkpointable run: a single policy on the YCSB
+// workload (or the paper sequence), stepped op by op so snapshots, audit
+// fingerprints and invariant sweeps land on quiescent boundaries. A restored
+// run resumes where the snapshot left off and prints the same report the
+// straight run would have.
+func runSnapshotMode(cfg config, snap cliutil.SnapshotFlags, metricsOut string) int {
+	workloads := []string{cfg.workload}
+	if cfg.sequence {
+		workloads = workloads[:0]
+		for _, w := range ycsb.PaperSequence {
+			workloads = append(workloads, w.Name)
+		}
+	}
+	soakCfg := bench.SoakConfig{
+		Policy:      cfg.policy,
+		Workloads:   workloads,
+		Records:     cfg.records,
+		Ops:         cfg.ops,
+		DRAMPages:   cfg.dram,
+		PMPages:     cfg.pm,
+		Interval:    cfg.scan,
+		Seed:        cfg.seed,
+		Chaos:       cfg.chaos,
+		Metrics:     cfg.metrics,
+		TraceEvents: cfg.traceEvents,
+	}
+	hooks := bench.SoakHooks{
+		SnapshotPath:    snap.Snapshot,
+		SnapshotEvery:   snap.SnapshotEvery,
+		InvariantsEvery: snap.InvariantsEvery,
+	}
+	report, sess, err := bench.RunSoakCLI(soakCfg, snap.Restore, hooks, snap.Audit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+		return 1
+	}
+	os.Stdout.WriteString(report)
+
+	if metricsOut != "" {
+		run := sess.MetricsRun(sess.Cfg.Policy)
+		if run == nil {
+			fmt.Fprintln(os.Stderr, "mcsim: snapshot carries no telemetry registry; cannot export metrics")
+			return 1
+		}
+		data, err := metrics.ExportJSON(*run)
+		if err == nil {
+			err = os.WriteFile(metricsOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcsim: writing metrics: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "metrics: 1 run(s) written to %s\n", metricsOut)
+	}
+	return 0
+}

@@ -1,0 +1,584 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"multiclock/internal/fault"
+	"multiclock/internal/kvstore"
+	"multiclock/internal/machine"
+	"multiclock/internal/metrics"
+	"multiclock/internal/sim"
+	"multiclock/internal/snapcodec"
+	"multiclock/internal/snapshot"
+	"multiclock/internal/ycsb"
+)
+
+// The resumable soak harness. A Session is one checkpointable system — a
+// machine, its policy, a kvstore and a YCSB client driving a fixed workload
+// sequence — stepped one operation at a time so snapshots, audit fingerprints
+// and invariant sweeps land exactly on quiescent op boundaries. The session's
+// own progress (current workload, completed results) rides the snapshot's
+// config section, so a restored session reproduces the remaining run — and
+// the final report — byte for byte.
+
+// SoakConfig fully determines a session: rebuilding from an equal config and
+// restoring the snapshot sections yields an identical system.
+type SoakConfig struct {
+	// Policy is a NewPolicy system name; it must support checkpointing.
+	Policy string
+	// Workloads is the run order by YCSB workload name (e.g. ["A"] or the
+	// paper sequence). The load phase always runs first.
+	Workloads []string
+	// Records is the load-phase record count; Ops is per workload.
+	Records int64
+	Ops     int64
+	// DRAMPages and PMPages size the two memory nodes.
+	DRAMPages int
+	PMPages   int
+	// Interval is the policy scan interval (0 = DefaultScanInterval).
+	Interval sim.Duration
+	// Seed drives the machine; the YCSB client derives its stream from it.
+	Seed uint64
+	// Chaos enables deterministic fault injection (zero value = off).
+	Chaos fault.Config
+	// Metrics collects a telemetry registry that snapshots with the run;
+	// TraceEvents sizes its event ring.
+	Metrics     bool
+	TraceEvents int
+}
+
+// soakConfigVersion guards the config-section layout inside the container.
+const soakConfigVersion = 1
+
+// Session is one live checkpointable system.
+type Session struct {
+	Cfg SoakConfig
+
+	M         *machine.Machine
+	Policy    machine.Policy
+	Store     *kvstore.Store
+	Client    *ycsb.Client
+	Reg       *metrics.Registry
+	collector *metrics.Collector
+
+	run     *ycsb.Run
+	widx    int
+	results []ycsb.RunResult
+}
+
+// NewSession builds and loads a fresh session.
+func NewSession(cfg SoakConfig) (*Session, error) {
+	s, err := newPristine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Client.Load()
+	return s, nil
+}
+
+// newPristine runs the construction path shared by fresh sessions and restore
+// targets: everything up to (but excluding) the load phase.
+func newPristine(cfg SoakConfig) (*Session, error) {
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("bench: soak session needs at least one workload")
+	}
+	for _, name := range cfg.Workloads {
+		if _, err := ycsb.ByName(name); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Records <= 0 || cfg.Ops <= 0 {
+		return nil, fmt.Errorf("bench: soak session needs positive records and ops, got %d/%d", cfg.Records, cfg.Ops)
+	}
+	p, err := NewPolicy(cfg.Policy, cfg.Interval)
+	if err != nil {
+		return nil, err
+	}
+	mcfg := machine.DefaultConfig()
+	mcfg.Mem.DRAMNodes = []int{cfg.DRAMPages}
+	mcfg.Mem.PMNodes = []int{cfg.PMPages}
+	mcfg.Seed = cfg.Seed
+	mcfg.OpCost = 1 * sim.Microsecond
+	mcfg.Faults = cfg.Chaos
+	m := machine.New(mcfg, p)
+
+	s := &Session{Cfg: cfg, M: m, Policy: p}
+	if cfg.Metrics {
+		s.Reg = metrics.NewRegistry(cfg.TraceEvents)
+		s.collector = metrics.NewCollector(s.Reg).Bind(m)
+		m.SetMetrics(s.collector)
+		m.Attach(s.collector)
+	}
+
+	storeCfg := kvstore.DefaultConfig(int(cfg.Records))
+	storeCfg.ItemTouches = 8
+	s.Store = kvstore.New(m, storeCfg)
+
+	clientCfg := ycsb.DefaultClientConfig(cfg.Records)
+	clientCfg.Seed = cfg.Seed ^ 0x9c5b
+	s.Client = ycsb.NewClient(m, s.Store, clientCfg)
+	return s, nil
+}
+
+// target bundles the session for the snapshot layer.
+func (s *Session) target() *snapshot.Target {
+	return &snapshot.Target{M: s.M, Store: s.Store, Client: s.Client, Run: s.run, Metrics: s.Reg}
+}
+
+// Capture snapshots the session (configuration, progress and full system
+// state) into a container. The session must be at an op boundary.
+func (s *Session) Capture() (*snapshot.File, error) {
+	return snapshot.Capture(s.target(), s.encodeSessionState())
+}
+
+// Snapshot captures and writes the session to path.
+func (s *Session) Snapshot(path string) error {
+	f, err := s.Capture()
+	if err != nil {
+		return err
+	}
+	return f.WriteFile(path)
+}
+
+// Fingerprint hashes every subsystem for the divergence auditor.
+func (s *Session) Fingerprint() (snapshot.AuditRecord, error) {
+	return snapshot.AuditFingerprint(s.target())
+}
+
+// RestoreSession rebuilds a session from a decoded snapshot container: the
+// config section names the construction recipe and the progress; the state
+// sections overwrite the pristine system.
+func RestoreSession(f *snapshot.File) (*Session, error) {
+	payload, ok := f.Section(snapshot.SecConfig)
+	if !ok {
+		return nil, &snapshot.CorruptError{Section: snapshot.SecConfig, Err: fmt.Errorf("section missing")}
+	}
+	cfg, widx, results, err := decodeSessionState(payload)
+	if err != nil {
+		return nil, &snapshot.CorruptError{Section: snapshot.SecConfig, Err: err}
+	}
+	s, err := newPristine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := s.target()
+	if err := snapshot.Restore(t, f); err != nil {
+		return nil, err
+	}
+	s.run = t.Run
+	if widx > len(cfg.Workloads) || (widx < len(cfg.Workloads) && len(results) > widx) ||
+		(s.run != nil && widx >= len(cfg.Workloads)) {
+		return nil, &snapshot.CorruptError{Section: snapshot.SecConfig,
+			Err: fmt.Errorf("progress (workload %d of %d, %d results) is inconsistent", widx, len(cfg.Workloads), len(results))}
+	}
+	s.widx = widx
+	s.results = results
+	return s, nil
+}
+
+// RestoreSessionFile reads, verifies and restores a snapshot file.
+func RestoreSessionFile(path string) (*Session, error) {
+	f, err := snapshot.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return RestoreSession(f)
+}
+
+// SoakHooks configures the soak loop's periodic work. All cadences count
+// completed workload operations across the whole session, so a restored run
+// lands on exactly the boundaries the straight run would.
+type SoakHooks struct {
+	// SnapshotPath, with SnapshotEvery, checkpoints to this file every N ops
+	// (latest wins) and once more at session end.
+	SnapshotPath  string
+	SnapshotEvery int64
+	// Audit appends a per-subsystem hash record at every SnapshotEvery
+	// boundary (with or without SnapshotPath).
+	Audit *snapshot.AuditWriter
+	// InvariantsEvery sweeps the machine's conservation laws every N ops.
+	InvariantsEvery int64
+}
+
+// opCount is the session-global completed-op position used for hook cadence.
+func (s *Session) opCount() int64 {
+	n := int64(s.widx) * s.Cfg.Ops
+	if s.run != nil {
+		n += s.run.Done()
+	}
+	return n
+}
+
+// Done reports whether every workload has finished.
+func (s *Session) Done() bool { return s.widx >= len(s.Cfg.Workloads) }
+
+// Run drives the session to completion under the hooks and returns the
+// deterministic report. Stepping resumes exactly where a restored snapshot
+// left off.
+func (s *Session) Run(h SoakHooks) (string, error) {
+	if h.SnapshotEvery > 0 {
+		// Fail before the run, not at the first checkpoint.
+		if _, ok := s.M.Policy.(machine.StateSnapshotter); !ok {
+			return "", &snapshot.UnsupportedPolicyError{Policy: s.M.Policy.Name()}
+		}
+	}
+	for !s.Done() {
+		more := s.ensureRun().Step()
+		if err := s.boundary(h); err != nil {
+			return "", err
+		}
+		if !more {
+			s.finishRun()
+		}
+	}
+	stopDaemons(s.Policy)
+	if h.SnapshotEvery > 0 && h.SnapshotPath != "" {
+		if err := s.Snapshot(h.SnapshotPath); err != nil {
+			return "", err
+		}
+	}
+	if h.Audit != nil {
+		if err := h.Audit.Flush(); err != nil {
+			return "", err
+		}
+	}
+	return s.Report(), nil
+}
+
+// ensureRun starts the current workload's run if none is in flight.
+func (s *Session) ensureRun() *ycsb.Run {
+	if s.run == nil {
+		w, err := ycsb.ByName(s.Cfg.Workloads[s.widx])
+		if err != nil {
+			// Workload names were validated at construction.
+			panic(err)
+		}
+		s.run = s.Client.StartRun(w, s.Cfg.Ops)
+	}
+	return s.run
+}
+
+// finishRun records the completed workload's result and advances.
+func (s *Session) finishRun() {
+	s.results = append(s.results, s.run.Finish())
+	s.run = nil
+	s.widx++
+}
+
+// RunUntil advances the session until opCount reaches n (or the session
+// completes), with no hooks — the test and harness entry point for capturing
+// a snapshot at an exact mid-run boundary. It performs exactly the operations
+// Run would, so a Capture here equals the straight run's state at op n.
+func (s *Session) RunUntil(n int64) {
+	for !s.Done() && s.opCount() < n {
+		more := s.ensureRun().Step()
+		if !more {
+			s.finishRun()
+		}
+	}
+}
+
+// Finish completes the remaining workloads with no hooks and returns the
+// report (stopping the policy daemons).
+func (s *Session) Finish() (string, error) {
+	return s.Run(SoakHooks{})
+}
+
+// boundary runs the periodic hooks after one completed operation.
+func (s *Session) boundary(h SoakHooks) error {
+	done := s.opCount()
+	if h.InvariantsEvery > 0 && done%h.InvariantsEvery == 0 {
+		if err := s.M.CheckInvariants(); err != nil {
+			return fmt.Errorf("bench: invariant sweep at op %d: %w", done, err)
+		}
+	}
+	if h.SnapshotEvery > 0 && done%h.SnapshotEvery == 0 {
+		if h.Audit != nil {
+			rec, err := s.Fingerprint()
+			if err != nil {
+				return err
+			}
+			if err := h.Audit.Append(rec); err != nil {
+				return err
+			}
+		}
+		if h.SnapshotPath != "" {
+			if err := s.Snapshot(h.SnapshotPath); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Report renders the session outcome; equal session state renders equal
+// bytes, so a straight run and a restored run print identical reports.
+func (s *Session) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "soak: policy=%s workloads=%s records=%d ops/workload=%d seed=%d\n",
+		s.Cfg.Policy, strings.Join(s.Cfg.Workloads, ","), s.Cfg.Records, s.Cfg.Ops, s.Cfg.Seed)
+	fmt.Fprintf(&b, "%-8s %14s %10s %10s %10s\n", "workload", "ops/s", "p50", "p95", "p99")
+	for _, r := range s.results {
+		if r.Unsupported {
+			fmt.Fprintf(&b, "%-8s %14s\n", r.Workload, "unsupported")
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %14.0f %10v %10v %10v\n", r.Workload, r.Throughput, r.P50, r.P95, r.P99)
+	}
+	fmt.Fprintf(&b, "\npolicy: %s\nvirtual time: %v\n", s.M.Policy.Name(), s.M.Elapsed())
+	fmt.Fprintln(&b, &s.M.Mem.Counters)
+	if s.M.Faults != nil {
+		fmt.Fprintln(&b, s.M.Faults.Counters.String())
+	}
+	return b.String()
+}
+
+// MetricsRun exports the session's telemetry registry under label, or nil
+// when the session collects none.
+func (s *Session) MetricsRun(label string) *metrics.RunExport {
+	if s.collector == nil {
+		return nil
+	}
+	run := s.collector.Run(label)
+	return &run
+}
+
+// SoakConfigFor derives a soak recipe from the benchmark scale: the paper's
+// workload sequence at the Options sizing, with an optional per-workload op
+// override for long runs.
+func SoakConfigFor(policy string, opt Options, ops int64, metricsOn bool, traceEvents int) SoakConfig {
+	sc := opt.sizes()
+	if ops <= 0 {
+		ops = sc.OpsPerWorkload
+	}
+	names := make([]string, 0, len(ycsb.PaperSequence))
+	for _, w := range ycsb.PaperSequence {
+		names = append(names, w.Name)
+	}
+	return SoakConfig{
+		Policy:      policy,
+		Workloads:   names,
+		Records:     sc.Records,
+		Ops:         ops,
+		DRAMPages:   sc.DRAMPages,
+		PMPages:     sc.PMPages,
+		Interval:    sc.Interval,
+		Seed:        opt.Seed,
+		Chaos:       opt.Chaos,
+		Metrics:     metricsOn,
+		TraceEvents: traceEvents,
+	}
+}
+
+// reconcileAudit rewrites an audit trail so that resuming from this session
+// continues it exactly where a straight run would be: records past the
+// restore point are dropped (the resumed run will regenerate them), and the
+// restore boundary's own record is recomputed in case the dying run was
+// killed between writing the snapshot and appending its fingerprint. A
+// session restored at completion keeps the trail untouched — it is already
+// complete and no further boundaries will fire.
+func (s *Session) reconcileAudit(path string, every int64) error {
+	var recs []snapshot.AuditRecord
+	if f, err := os.Open(path); err == nil {
+		recs, err = snapshot.ReadAudit(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	keep := recs
+	if !s.Done() {
+		cur, err := s.Fingerprint()
+		if err != nil {
+			return err
+		}
+		keep = keep[:0]
+		for _, r := range recs {
+			if r.Op < cur.Op {
+				keep = append(keep, r)
+			}
+		}
+		if n := s.opCount(); n > 0 && n%every == 0 {
+			keep = append(keep, cur)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := snapshot.NewAuditWriter(f)
+	for _, r := range keep {
+		if err := w.Append(r); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RunSoakCLI is the checkpointable-run driver shared by the CLIs: build (or
+// restore) a session, run it under the snapshot/audit/invariant cadence, and
+// return the deterministic report plus the finished session (for metrics
+// export). On restore the audit trail is first reconciled to the restore
+// point, then opened in append mode, so a killed run's resumed trail
+// continues the same file and still compares clean against a straight run.
+func RunSoakCLI(cfg SoakConfig, restorePath string, hooks SoakHooks, auditPath string) (string, *Session, error) {
+	var sess *Session
+	var err error
+	if restorePath != "" {
+		// The snapshot's config section is the construction recipe; cfg is
+		// ignored on restore.
+		sess, err = RestoreSessionFile(restorePath)
+	} else {
+		sess, err = NewSession(cfg)
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	if restorePath != "" && auditPath != "" && hooks.SnapshotEvery > 0 {
+		if err := sess.reconcileAudit(auditPath, hooks.SnapshotEvery); err != nil {
+			return "", nil, err
+		}
+	}
+	if auditPath != "" {
+		af, err := os.OpenFile(auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return "", nil, err
+		}
+		defer af.Close()
+		hooks.Audit = snapshot.NewAuditWriter(af)
+	}
+	report, err := sess.Run(hooks)
+	if err != nil {
+		return "", nil, err
+	}
+	if hooks.Audit != nil {
+		if err := hooks.Audit.Flush(); err != nil {
+			return "", nil, err
+		}
+	}
+	return report, sess, nil
+}
+
+// encodeSessionState renders the config section: the construction recipe plus
+// the session progress (completed results travel here so a restored session
+// can finish the report).
+func (s *Session) encodeSessionState() []byte {
+	enc := snapcodec.NewEncoder()
+	enc.U32(soakConfigVersion)
+	c := &s.Cfg
+	enc.String(c.Policy)
+	enc.Int(len(c.Workloads))
+	for _, w := range c.Workloads {
+		enc.String(w)
+	}
+	enc.I64(c.Records)
+	enc.I64(c.Ops)
+	enc.Int(c.DRAMPages)
+	enc.Int(c.PMPages)
+	enc.I64(int64(c.Interval))
+	enc.U64(c.Seed)
+	enc.U64(c.Chaos.Seed)
+	enc.Int(len(c.Chaos.Rates))
+	for _, r := range c.Chaos.Rates {
+		enc.U64(math.Float64bits(r))
+	}
+	enc.U64(math.Float64bits(c.Chaos.PMSlowdownFactor))
+	enc.I64(int64(c.Chaos.PMSlowdownWindow))
+	enc.Bool(c.Metrics)
+	enc.Int(c.TraceEvents)
+
+	enc.Int(s.widx)
+	enc.Int(len(s.results))
+	for _, r := range s.results {
+		enc.String(r.Workload)
+		enc.I64(r.Ops)
+		enc.I64(int64(r.Elapsed))
+		enc.U64(math.Float64bits(r.Throughput))
+		enc.I64(int64(r.P50))
+		enc.I64(int64(r.P95))
+		enc.I64(int64(r.P99))
+		enc.I64(int64(r.MeanLatency))
+		enc.Bool(r.Unsupported)
+	}
+	return enc.Bytes()
+}
+
+// decodeSessionState parses the config section back into a recipe and the
+// saved progress.
+func decodeSessionState(payload []byte) (cfg SoakConfig, widx int, results []ycsb.RunResult, err error) {
+	dec := snapcodec.NewDecoder(payload)
+	fail := func(e error) (SoakConfig, int, []ycsb.RunResult, error) {
+		return SoakConfig{}, 0, nil, e
+	}
+	if v := dec.U32(); dec.Err() == nil && v != soakConfigVersion {
+		return fail(fmt.Errorf("soak config version %d (this build reads %d)", v, soakConfigVersion))
+	}
+	cfg.Policy = dec.String()
+	nw := dec.Int()
+	if dec.Err() != nil {
+		return fail(dec.Err())
+	}
+	if nw <= 0 || nw > dec.Remaining() {
+		return fail(fmt.Errorf("soak config claims %d workloads", nw))
+	}
+	for i := 0; i < nw; i++ {
+		cfg.Workloads = append(cfg.Workloads, dec.String())
+	}
+	cfg.Records = dec.I64()
+	cfg.Ops = dec.I64()
+	cfg.DRAMPages = dec.Int()
+	cfg.PMPages = dec.Int()
+	cfg.Interval = sim.Duration(dec.I64())
+	cfg.Seed = dec.U64()
+	cfg.Chaos.Seed = dec.U64()
+	nr := dec.Int()
+	if dec.Err() != nil {
+		return fail(dec.Err())
+	}
+	if nr != len(cfg.Chaos.Rates) {
+		return fail(fmt.Errorf("soak config carries %d fault rates, this build has %d", nr, len(cfg.Chaos.Rates)))
+	}
+	for i := range cfg.Chaos.Rates {
+		cfg.Chaos.Rates[i] = math.Float64frombits(dec.U64())
+	}
+	cfg.Chaos.PMSlowdownFactor = math.Float64frombits(dec.U64())
+	cfg.Chaos.PMSlowdownWindow = sim.Duration(dec.I64())
+	cfg.Metrics = dec.Bool()
+	cfg.TraceEvents = dec.Int()
+
+	widx = dec.Int()
+	n := dec.Int()
+	if dec.Err() != nil {
+		return fail(dec.Err())
+	}
+	if widx < 0 || n < 0 || n > dec.Remaining() {
+		return fail(fmt.Errorf("soak progress claims workload %d, %d results", widx, n))
+	}
+	for i := 0; i < n; i++ {
+		var r ycsb.RunResult
+		r.Workload = dec.String()
+		r.Ops = dec.I64()
+		r.Elapsed = sim.Duration(dec.I64())
+		r.Throughput = math.Float64frombits(dec.U64())
+		r.P50 = sim.Duration(dec.I64())
+		r.P95 = sim.Duration(dec.I64())
+		r.P99 = sim.Duration(dec.I64())
+		r.MeanLatency = sim.Duration(dec.I64())
+		r.Unsupported = dec.Bool()
+		results = append(results, r)
+	}
+	if err := dec.Finish(); err != nil {
+		return fail(err)
+	}
+	return cfg, widx, results, nil
+}

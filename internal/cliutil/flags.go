@@ -5,6 +5,7 @@ package cliutil
 
 import (
 	"errors"
+	"flag"
 	"time"
 )
 
@@ -24,6 +25,55 @@ var errExportFlags = errors.New("-series/-lifecycle ride the metrics export; set
 func ValidateExportFlags(series time.Duration, lifecycleMod uint64, metricsOut string) error {
 	if (series > 0 || lifecycleMod > 0) && metricsOut == "" {
 		return errExportFlags
+	}
+	return nil
+}
+
+// SnapshotFlags holds the checkpoint/restore flag set shared by mcsim and
+// mcbench: where to write snapshots, how often, what to restore, where the
+// divergence-audit trail goes and how often to sweep the machine invariants.
+type SnapshotFlags struct {
+	Snapshot        string
+	SnapshotEvery   int64
+	Restore         string
+	Audit           string
+	InvariantsEvery int64
+}
+
+// Register installs the shared flag set on fs under the canonical names.
+func (f *SnapshotFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Snapshot, "snapshot", "", "checkpoint the run to this file every -snapshot-every ops (and at completion)")
+	fs.Int64Var(&f.SnapshotEvery, "snapshot-every", 0, "ops between checkpoints/audit fingerprints (requires -snapshot or -audit)")
+	fs.StringVar(&f.Restore, "restore", "", "resume from this snapshot file instead of starting fresh")
+	fs.StringVar(&f.Audit, "audit", "", "append per-subsystem state hashes to this JSONL file every -snapshot-every ops (see `mcmetrics diverge`)")
+	fs.Int64Var(&f.InvariantsEvery, "invariants-every", 0, "run the machine invariant checker every N ops (0 = off)")
+}
+
+// Active reports whether any checkpoint/restore behavior was requested
+// (-invariants-every alone does not make a run checkpointable).
+func (f *SnapshotFlags) Active() bool {
+	return f.Snapshot != "" || f.SnapshotEvery > 0 || f.Restore != "" || f.Audit != ""
+}
+
+// Validate checks the flag set's internal consistency and its interaction
+// with the unserializable observability layers. Checkpoints capture the
+// virtual clock, and one-shot -series/-lifecycle samplers schedule closures
+// that cannot be serialized, so the combination is refused up front.
+func (f *SnapshotFlags) Validate(series time.Duration, lifecycleMod uint64) error {
+	if f.SnapshotEvery < 0 {
+		return errors.New("-snapshot-every must be non-negative")
+	}
+	if f.InvariantsEvery < 0 {
+		return errors.New("-invariants-every must be non-negative")
+	}
+	if f.SnapshotEvery > 0 && f.Snapshot == "" && f.Audit == "" {
+		return errors.New("-snapshot-every needs -snapshot or -audit to do anything")
+	}
+	if (f.Snapshot != "" || f.Audit != "") && f.SnapshotEvery <= 0 {
+		return errors.New("-snapshot/-audit need -snapshot-every N to set the checkpoint cadence")
+	}
+	if f.Active() && (series > 0 || lifecycleMod > 0) {
+		return errors.New("-series/-lifecycle cannot be combined with checkpointing: one-shot samplers are not serializable")
 	}
 	return nil
 }

@@ -33,6 +33,56 @@ func TestValidateExportFlags(t *testing.T) {
 	}
 }
 
+func TestSnapshotFlagsValidate(t *testing.T) {
+	cases := []struct {
+		name      string
+		f         SnapshotFlags
+		series    time.Duration
+		lifecycle uint64
+		wantErr   bool
+	}{
+		{"nothing", SnapshotFlags{}, 0, 0, false},
+		{"snapshot with cadence", SnapshotFlags{Snapshot: "s.mcsnap", SnapshotEvery: 5000}, 0, 0, false},
+		{"audit with cadence", SnapshotFlags{Audit: "a.jsonl", SnapshotEvery: 5000}, 0, 0, false},
+		{"restore alone", SnapshotFlags{Restore: "s.mcsnap"}, 0, 0, false},
+		{"invariants alone", SnapshotFlags{InvariantsEvery: 1000}, 0, 0, false},
+		{"invariants with series", SnapshotFlags{InvariantsEvery: 1000}, 10 * time.Millisecond, 0, false},
+		{"negative cadence", SnapshotFlags{SnapshotEvery: -1}, 0, 0, true},
+		{"negative invariants", SnapshotFlags{InvariantsEvery: -1}, 0, 0, true},
+		{"cadence without sink", SnapshotFlags{SnapshotEvery: 5000}, 0, 0, true},
+		{"snapshot without cadence", SnapshotFlags{Snapshot: "s.mcsnap"}, 0, 0, true},
+		{"audit without cadence", SnapshotFlags{Audit: "a.jsonl"}, 0, 0, true},
+		{"snapshot with series", SnapshotFlags{Snapshot: "s.mcsnap", SnapshotEvery: 5000}, 10 * time.Millisecond, 0, true},
+		{"restore with lifecycle", SnapshotFlags{Restore: "s.mcsnap"}, 0, 1, true},
+	}
+	for _, c := range cases {
+		err := c.f.Validate(c.series, c.lifecycle)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: got err=%v, want error=%v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestSnapshotFlagsActive(t *testing.T) {
+	cases := []struct {
+		name string
+		f    SnapshotFlags
+		want bool
+	}{
+		{"zero", SnapshotFlags{}, false},
+		{"invariants only", SnapshotFlags{InvariantsEvery: 100}, false},
+		{"snapshot", SnapshotFlags{Snapshot: "s"}, true},
+		{"cadence", SnapshotFlags{SnapshotEvery: 1}, true},
+		{"restore", SnapshotFlags{Restore: "s"}, true},
+		{"audit", SnapshotFlags{Audit: "a"}, true},
+	}
+	for _, c := range cases {
+		if got := c.f.Active(); got != c.want {
+			t.Errorf("%s: Active() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
 // buildCLI compiles one command into dir; the test working directory is
 // inside the module, so import paths resolve.
 func buildCLI(t *testing.T, dir, pkg, name string) string {

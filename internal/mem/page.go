@@ -105,6 +105,12 @@ type Page struct {
 	Frame FrameID
 	Flags PageFlags
 
+	// Seq is the descriptor's birth sequence number, stamped once by the
+	// owning System and never reused. Descriptor creation order is
+	// deterministic, so Seq is a stable cross-run page identity — the
+	// checkpoint layer serializes every pointer to a page as its Seq.
+	Seq uint64
+
 	// Order is the compound-page order: 0 for a base page, MaxOrder (9)
 	// for a 2 MiB transparent huge page. The descriptor covers
 	// 2^Order frames starting at Frame, like a compound head page.

@@ -58,6 +58,9 @@ type System struct {
 	// mapped. Machine-level invariant checks reconcile against it.
 	shadowFrames int
 
+	// pageSeq is the next descriptor birth sequence number (see Page.Seq).
+	pageSeq uint64
+
 	clock *sim.Clock
 }
 
@@ -74,6 +77,8 @@ func (s *System) newPage() *Page {
 	}
 	pg := &s.descSlab[0]
 	s.descSlab = s.descSlab[1:]
+	pg.Seq = s.pageSeq
+	s.pageSeq++
 	pg.Space = -1
 	pg.ShadowNode = NoNode
 	pg.ShadowFrame = NoFrame

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -164,11 +165,41 @@ func ExportCSV(runs ...RunExport) string {
 	return b.String()
 }
 
-// ReadExport parses and schema-checks an export document.
+// ParseError reports an export document that is not valid JSON — truncated,
+// garbage, or carrying a mistyped field. Offset is the byte position the
+// decoder reported (for a truncated file, the end of the data), or -1 when
+// the underlying error carries none.
+type ParseError struct {
+	Offset int64
+	Err    error
+}
+
+func (e *ParseError) Error() string {
+	if e.Offset >= 0 {
+		return fmt.Sprintf("export is not valid JSON at byte offset %d: %v", e.Offset, e.Err)
+	}
+	return fmt.Sprintf("export is not valid JSON: %v", e.Err)
+}
+
+// Unwrap exposes the decoder's error for errors.Is/As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// ReadExport parses and schema-checks an export document. Syntactically
+// invalid input fails with a *ParseError carrying the byte offset; a
+// well-formed document that violates the schema fails with Validate's error.
 func ReadExport(data []byte) (*Export, error) {
 	var ex Export
 	if err := json.Unmarshal(data, &ex); err != nil {
-		return nil, fmt.Errorf("metrics: parsing export: %w", err)
+		off := int64(-1)
+		var syn *json.SyntaxError
+		var typ *json.UnmarshalTypeError
+		switch {
+		case errors.As(err, &syn):
+			off = syn.Offset
+		case errors.As(err, &typ):
+			off = typ.Offset
+		}
+		return nil, &ParseError{Offset: off, Err: err}
 	}
 	if err := ex.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"fmt"
+
+	"multiclock/internal/sim"
+	"multiclock/internal/snapcodec"
+)
+
+// Checkpoint serialization for one machine's registry. Instruments are
+// written sorted by name (the registry maps are only ever iterated sorted, at
+// export, so the canonical order is behaviorally exact) and restored with
+// get-or-create semantics: instruments pre-resolved by the restore target's
+// construction path keep their pointers and receive the snapshot values in
+// place.
+
+// SnapshotState encodes every instrument and the event ring.
+func (r *Registry) SnapshotState(enc *snapcodec.Encoder) {
+	names := sortedNames(r.counters)
+	enc.Int(len(names))
+	for _, name := range names {
+		enc.String(name)
+		enc.I64(r.counters[name].v)
+	}
+	names = sortedNames(r.gauges)
+	enc.Int(len(names))
+	for _, name := range names {
+		g := r.gauges[name]
+		enc.String(name)
+		enc.I64(g.last)
+		enc.I64(g.max)
+		enc.Bool(g.any)
+	}
+	names = sortedNames(r.hists)
+	enc.Int(len(names))
+	for _, name := range names {
+		h := r.hists[name]
+		enc.String(name)
+		for _, c := range h.counts {
+			enc.I64(c)
+		}
+		enc.I64(h.n)
+		enc.I64(h.sum)
+		enc.I64(h.min)
+		enc.I64(h.max)
+	}
+	if r.events == nil {
+		enc.Bool(false)
+		return
+	}
+	enc.Bool(true)
+	t := r.events
+	enc.Int(t.Capacity())
+	enc.I64(t.dropped)
+	enc.Int(t.n)
+	for i := 0; i < t.n; i++ {
+		ev := t.buf[(t.start+i)%len(t.buf)]
+		enc.I64(int64(ev.At))
+		enc.U8(uint8(ev.Kind))
+		enc.I64(int64(ev.From))
+		enc.I64(int64(ev.To))
+		enc.Int(ev.Pages)
+		enc.U64(ev.VA)
+		enc.I64(int64(ev.Work))
+		enc.String(ev.Name)
+	}
+}
+
+// RestoreState decodes into a registry built with the same trace capacity.
+func (r *Registry) RestoreState(dec *snapcodec.Decoder) error {
+	n := dec.Int()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	for i := 0; i < n; i++ {
+		name := dec.String()
+		v := dec.I64()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		r.Counter(name).v = v
+	}
+	n = dec.Int()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	for i := 0; i < n; i++ {
+		name := dec.String()
+		last := dec.I64()
+		max := dec.I64()
+		any := dec.Bool()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		g := r.Gauge(name)
+		g.last, g.max, g.any = last, max, any
+	}
+	n = dec.Int()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	for i := 0; i < n; i++ {
+		name := dec.String()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		h := r.Histogram(name)
+		for k := range h.counts {
+			h.counts[k] = dec.I64()
+		}
+		h.n = dec.I64()
+		h.sum = dec.I64()
+		h.min = dec.I64()
+		h.max = dec.I64()
+	}
+	hasTrace := dec.Bool()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if hasTrace != (r.events != nil) {
+		return fmt.Errorf("metrics: snapshot trace presence %v, registry %v", hasTrace, r.events != nil)
+	}
+	if !hasTrace {
+		return dec.Err()
+	}
+	t := r.events
+	capacity := dec.Int()
+	dropped := dec.I64()
+	live := dec.Int()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if capacity != t.Capacity() {
+		return fmt.Errorf("metrics: snapshot trace capacity %d, registry %d", capacity, t.Capacity())
+	}
+	if live < 0 || live > capacity {
+		return fmt.Errorf("metrics: snapshot trace holds %d of %d events", live, capacity)
+	}
+	t.start = 0
+	t.n = live
+	t.dropped = dropped
+	for i := 0; i < live; i++ {
+		ev := &t.buf[i]
+		ev.At = sim.Time(dec.I64())
+		ev.Kind = EventKind(dec.U8())
+		ev.From = int(dec.I64())
+		ev.To = int(dec.I64())
+		ev.Pages = dec.Int()
+		ev.VA = dec.U64()
+		ev.Work = sim.Duration(dec.I64())
+		ev.Name = dec.String()
+	}
+	return dec.Err()
+}

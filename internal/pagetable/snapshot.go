@@ -1,0 +1,24 @@
+package pagetable
+
+import "sort"
+
+// Checkpoint accessors. An address space's VMAs and bump-allocator position
+// are fully determined by the workload's construction-time Mmap calls — the
+// store pre-reserves its arena, so no VMA is created after construction and
+// restore only needs to verify the geometry, not replay it. The PTE tree and
+// mapped count are rebuilt by re-installing the restored LRU-resident pages;
+// only the swap residency set carries state of its own.
+
+// NextVPN returns the mmap bump-allocator position (checkpoint verification).
+func (as *AddressSpace) NextVPN() VPN { return as.nextVPN }
+
+// SwappedVPNs returns the swapped-out VPNs in sorted order (the map is never
+// iterated by the simulation, so the canonical form is behaviorally exact).
+func (as *AddressSpace) SwappedVPNs() []VPN {
+	out := make([]VPN, 0, len(as.swapped))
+	for v := range as.swapped {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

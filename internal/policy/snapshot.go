@@ -1,0 +1,247 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+	"multiclock/internal/sim"
+	"multiclock/internal/snapcodec"
+)
+
+// Checkpoint serialization for the baseline policies. Maps indexed by page
+// pointer are written sorted by page sequence (they are never iterated during
+// a run, so the canonical order is behaviorally exact); queue slices are
+// written in their exact order, including stale entries for dead pages —
+// lazy invalidation means a stale entry still shapes future wakeups, so the
+// restore side materializes zombie descriptors for them via the registry.
+
+// --- Static ---
+
+// SnapshotState implements machine.StateSnapshotter: static tiering holds no
+// mutable policy state.
+func (s *Static) SnapshotState(enc *snapcodec.Encoder) error { return nil }
+
+// RestoreState implements machine.StateSnapshotter.
+func (s *Static) RestoreState(dec *snapcodec.Decoder, reg *machine.PageRegistry) error {
+	return nil
+}
+
+// --- BandwidthGate ---
+
+// SnapshotState implements machine.StateSnapshotter (nested inside a gated
+// policy's section).
+func (g *BandwidthGate) SnapshotState(enc *snapcodec.Encoder) error {
+	enc.I64(int64(g.windowStart))
+	enc.I64(int64(g.busyAtStart))
+	enc.I64(g.Admits)
+	enc.I64(g.Rejects)
+	return nil
+}
+
+// RestoreState implements machine.StateSnapshotter.
+func (g *BandwidthGate) RestoreState(dec *snapcodec.Decoder, reg *machine.PageRegistry) error {
+	g.windowStart = sim.Time(dec.I64())
+	g.busyAtStart = sim.Duration(dec.I64())
+	g.Admits = dec.I64()
+	g.Rejects = dec.I64()
+	return dec.Err()
+}
+
+// --- Nimble ---
+
+// SnapshotState implements machine.StateSnapshotter.
+func (nb *Nimble) SnapshotState(enc *snapcodec.Encoder) error {
+	enc.I64(nb.Promotions)
+	return machine.SnapshotGate(enc, nb.cfg.Gate)
+}
+
+// RestoreState implements machine.StateSnapshotter.
+func (nb *Nimble) RestoreState(dec *snapcodec.Decoder, reg *machine.PageRegistry) error {
+	nb.Promotions = dec.I64()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	return machine.RestoreGate(dec, reg, nb.cfg.Gate)
+}
+
+// --- Nomad ---
+
+// SnapshotState implements machine.StateSnapshotter.
+func (nd *Nomad) SnapshotState(enc *snapcodec.Encoder) error {
+	type txEntry struct {
+		seq     uint64
+		aborted bool
+	}
+	entries := make([]txEntry, 0, len(nd.inflight))
+	for pg, tx := range nd.inflight {
+		entries = append(entries, txEntry{pg.Seq, tx.aborted})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	enc.Int(len(entries))
+	for _, e := range entries {
+		enc.U64(e.seq)
+		enc.Bool(e.aborted)
+	}
+	enc.Int(len(nd.shadowed))
+	for _, pg := range nd.shadowed {
+		enc.U64(pg.Seq)
+	}
+	for _, v := range []int64{nd.TxBegins, nd.TxCommits, nd.TxAborts, nd.FreeDemotes} {
+		enc.I64(v)
+	}
+	return nil
+}
+
+// RestoreState implements machine.StateSnapshotter.
+func (nd *Nomad) RestoreState(dec *snapcodec.Decoder, reg *machine.PageRegistry) error {
+	n := dec.Int()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	for i := 0; i < n; i++ {
+		seq := dec.U64()
+		aborted := dec.Bool()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		pg, ok := reg.Live(seq)
+		if !ok {
+			// Inflight entries die with the page, so only live pages appear.
+			return fmt.Errorf("policy: snapshot nomad transaction names unknown page %d", seq)
+		}
+		if _, dup := nd.inflight[pg]; dup {
+			return fmt.Errorf("policy: snapshot repeats nomad transaction for page %d", seq)
+		}
+		nd.inflight[pg] = &nomadTx{aborted: aborted}
+	}
+	var err error
+	if nd.shadowed, err = restorePageList(dec, reg, nd.shadowed); err != nil {
+		return err
+	}
+	for _, p := range []*int64{&nd.TxBegins, &nd.TxCommits, &nd.TxAborts, &nd.FreeDemotes} {
+		*p = dec.I64()
+	}
+	return dec.Err()
+}
+
+// --- S3FIFO ---
+
+// SnapshotState implements machine.StateSnapshotter.
+func (s *S3FIFO) SnapshotState(enc *snapcodec.Encoder) error {
+	type stEntry struct {
+		seq uint64
+		v   uint8
+	}
+	entries := make([]stEntry, 0, len(s.state))
+	for pg, v := range s.state {
+		entries = append(entries, stEntry{pg.Seq, v})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	enc.Int(len(entries))
+	for _, e := range entries {
+		enc.U64(e.seq)
+		enc.U8(e.v)
+	}
+	enc.Int(len(s.queues))
+	for _, q := range s.queues {
+		enc.Bool(q != nil)
+		if q == nil {
+			continue
+		}
+		for _, list := range [][]*mem.Page{q.small, q.main, q.ghost} {
+			enc.Int(len(list))
+			for _, pg := range list {
+				enc.U64(pg.Seq)
+			}
+		}
+	}
+	for _, v := range []int64{s.SmallToMain, s.GhostHits, s.Promotions} {
+		enc.I64(v)
+	}
+	return nil
+}
+
+// RestoreState implements machine.StateSnapshotter.
+func (s *S3FIFO) RestoreState(dec *snapcodec.Decoder, reg *machine.PageRegistry) error {
+	n := dec.Int()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	for i := 0; i < n; i++ {
+		seq := dec.U64()
+		v := dec.U8()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		pg, ok := reg.Live(seq)
+		if !ok {
+			// State entries die with the page (PageFreed / CauseDelete), so
+			// only live pages appear.
+			return fmt.Errorf("policy: snapshot s3fifo state names unknown page %d", seq)
+		}
+		if _, dup := s.state[pg]; dup {
+			return fmt.Errorf("policy: snapshot repeats s3fifo state for page %d", seq)
+		}
+		s.state[pg] = v
+	}
+	nq := dec.Int()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if nq != len(s.queues) {
+		return fmt.Errorf("policy: snapshot has %d s3fifo queue sets, policy %d", nq, len(s.queues))
+	}
+	for i, q := range s.queues {
+		has := dec.Bool()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if has != (q != nil) {
+			return fmt.Errorf("policy: snapshot s3fifo queue presence on node %d does not match policy", i)
+		}
+		if q == nil {
+			continue
+		}
+		var err error
+		if q.small, err = restorePageList(dec, reg, q.small); err != nil {
+			return err
+		}
+		if q.main, err = restorePageList(dec, reg, q.main); err != nil {
+			return err
+		}
+		if q.ghost, err = restorePageList(dec, reg, q.ghost); err != nil {
+			return err
+		}
+	}
+	for _, p := range []*int64{&s.SmallToMain, &s.GhostHits, &s.Promotions} {
+		*p = dec.I64()
+	}
+	return dec.Err()
+}
+
+// restorePageList decodes one exact-order page reference list into buf,
+// resolving dead references to zombie descriptors.
+func restorePageList(dec *snapcodec.Decoder, reg *machine.PageRegistry, buf []*mem.Page) ([]*mem.Page, error) {
+	n := dec.Int()
+	if dec.Err() != nil {
+		return buf, dec.Err()
+	}
+	if n < 0 || n > dec.Remaining()/8 {
+		return buf, fmt.Errorf("policy: snapshot claims %d page references in %d bytes", n, dec.Remaining())
+	}
+	buf = buf[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, reg.Resolve(dec.U64()))
+	}
+	return buf, dec.Err()
+}
+
+var (
+	_ machine.StateSnapshotter = (*Static)(nil)
+	_ machine.StateSnapshotter = (*BandwidthGate)(nil)
+	_ machine.StateSnapshotter = (*Nimble)(nil)
+	_ machine.StateSnapshotter = (*Nomad)(nil)
+	_ machine.StateSnapshotter = (*S3FIFO)(nil)
+)

@@ -62,6 +62,11 @@ type Clock struct {
 	events eventHeap
 	seq    uint64 // tie-breaker so equal-deadline events fire FIFO
 
+	// daemons lists every daemon ever started on this clock in start order.
+	// Construction is deterministic, so the index is a stable cross-run
+	// identity — the checkpoint layer re-arms daemons by it.
+	daemons []*Daemon
+
 	// Hook, when non-nil, wraps every daemon wakeup (telemetry). Nil adds
 	// no work to any path.
 	Hook PassHook
@@ -122,10 +127,18 @@ func (c *Clock) Schedule(d Duration, fn func()) *Event {
 // ScheduleAt registers fn to run at absolute virtual time t. Events scheduled
 // in the past fire on the next Advance.
 func (c *Clock) ScheduleAt(t Time, fn func()) *Event {
-	cancelled := new(bool)
 	c.seq++
-	c.events.push(scheduled{at: t, seq: c.seq, fn: fn, cancelled: cancelled})
-	return &Event{clock: c, cancelled: cancelled}
+	return c.scheduleExact(t, c.seq, fn)
+}
+
+// scheduleExact pushes an event with an explicit sequence number and does
+// not advance the clock's sequence counter. The normal path always goes
+// through ScheduleAt; checkpoint restore uses it to re-create a saved heap
+// bit for bit (the saved clock sequence is restored separately).
+func (c *Clock) scheduleExact(t Time, seq uint64, fn func()) *Event {
+	cancelled := new(bool)
+	c.events.push(scheduled{at: t, seq: seq, fn: fn, cancelled: cancelled})
+	return &Event{clock: c, cancelled: cancelled, at: t, seq: seq}
 }
 
 // Pending reports the number of scheduled (uncancelled) events. Cancelled
@@ -157,6 +170,8 @@ func (c *Clock) Drain() {
 type Event struct {
 	clock     *Clock
 	cancelled *bool
+	at        Time
+	seq       uint64
 }
 
 // Cancel prevents the event from firing. Safe to call multiple times and
@@ -252,6 +267,7 @@ func (c *Clock) StartDaemon(name string, interval Duration, body func(now Time))
 		panic("sim: daemon interval must be positive")
 	}
 	d := &Daemon{Name: name, Interval: interval, Body: body, clock: c}
+	c.daemons = append(c.daemons, d)
 	d.arm()
 	return d
 }
@@ -259,20 +275,24 @@ func (c *Clock) StartDaemon(name string, interval Duration, body func(now Time))
 func (d *Daemon) arm() {
 	delay := d.Interval + d.postpone
 	d.postpone = 0
-	d.ev = d.clock.Schedule(delay, func() {
-		if d.stopped {
-			return
-		}
-		if h := d.clock.Hook; h != nil {
-			h.DaemonPass(d, func() { d.Body(d.clock.Now()) })
-		} else {
-			d.Body(d.clock.Now())
-		}
-		d.Runs++
-		if !d.stopped {
-			d.arm()
-		}
-	})
+	d.ev = d.clock.Schedule(delay, d.fire)
+}
+
+// fire is one wakeup: run the body (through the pass hook when installed)
+// and re-arm unless stopped.
+func (d *Daemon) fire() {
+	if d.stopped {
+		return
+	}
+	if h := d.clock.Hook; h != nil {
+		h.DaemonPass(d, func() { d.Body(d.clock.Now()) })
+	} else {
+		d.Body(d.clock.Now())
+	}
+	d.Runs++
+	if !d.stopped {
+		d.arm()
+	}
 }
 
 // Stop halts the daemon; its body will not run again.

@@ -134,55 +134,99 @@ type RunResult struct {
 // Run executes ops operations of workload w and reports throughput
 // measured on the virtual clock. Load must have run first.
 func (c *Client) Run(w Workload, ops int64) RunResult {
+	r := c.StartRun(w, ops)
+	for r.Step() {
+	}
+	return r.Finish()
+}
+
+// Run is one in-flight workload execution, stepped one operation at a time.
+// Client.Run drives it to completion in a tight loop; resumable harnesses
+// (the soak driver, the checkpoint layer) step it explicitly so every op
+// boundary is a quiescent point where a snapshot can be taken.
+type Run struct {
+	c       *Client
+	w       Workload
+	chooser Chooser
+
+	ops, done   int64
+	startOps    int64
+	start       sim.Time
+	unsupported bool
+	lat         stats.Histogram
+}
+
+// StartRun begins a workload execution of ops operations. Load must have run
+// first.
+func (c *Client) StartRun(w Workload, ops int64) *Run {
 	if !c.loaded {
 		panic("ycsb: Run before Load")
 	}
-	chooser := c.chooserFor(w)
-	startOps := c.m.Ops
-	start := c.m.Clock.Now()
-	unsupported := false
-	var lat stats.Histogram
-	lat.Reserve(int(ops))
+	r := &Run{
+		c: c, w: w, chooser: c.chooserFor(w),
+		ops: ops, startOps: c.m.Ops, start: c.m.Clock.Now(),
+	}
+	r.lat.Reserve(int(ops))
+	return r
+}
 
-	for i := int64(0); i < ops; i++ {
-		opStart := c.m.Clock.Now()
-		p := c.rng.Float64()
-		switch {
-		case p < w.ReadProp:
-			c.store.Get(uint64(chooser.Next(c.rng)))
-		case p < w.ReadProp+w.UpdateProp:
-			c.store.Set(uint64(chooser.Next(c.rng)), c.cfg.RecordSize)
-		case p < w.ReadProp+w.UpdateProp+w.InsertProp:
-			key := uint64(c.records)
-			c.records++
-			chooser.Grow(c.records)
-			c.store.Insert(key, c.cfg.RecordSize)
-		case p < w.ReadProp+w.UpdateProp+w.InsertProp+w.RMWProp:
-			c.store.ReadModifyWrite(uint64(chooser.Next(c.rng)))
-		default:
-			if err := c.store.Scan(uint64(chooser.Next(c.rng)), 100); err != nil {
-				unsupported = true
-			}
-		}
-		c.m.EndOp()
-		lat.Add(float64(c.m.Clock.Now() - opStart))
-		if unsupported {
-			break
+// Workload returns the run's operation mix.
+func (r *Run) Workload() Workload { return r.w }
+
+// Done returns completed operations; Ops returns the target count.
+func (r *Run) Done() int64 { return r.done }
+
+// Ops returns the run's target operation count.
+func (r *Run) Ops() int64 { return r.ops }
+
+// Step executes one operation. It returns false once the run is complete
+// (target reached, or the back-end rejected the workload); further calls are
+// no-ops.
+func (r *Run) Step() bool {
+	if r.done >= r.ops || r.unsupported {
+		return false
+	}
+	c, w := r.c, r.w
+	opStart := c.m.Clock.Now()
+	p := c.rng.Float64()
+	switch {
+	case p < w.ReadProp:
+		c.store.Get(uint64(r.chooser.Next(c.rng)))
+	case p < w.ReadProp+w.UpdateProp:
+		c.store.Set(uint64(r.chooser.Next(c.rng)), c.cfg.RecordSize)
+	case p < w.ReadProp+w.UpdateProp+w.InsertProp:
+		key := uint64(c.records)
+		c.records++
+		r.chooser.Grow(c.records)
+		c.store.Insert(key, c.cfg.RecordSize)
+	case p < w.ReadProp+w.UpdateProp+w.InsertProp+w.RMWProp:
+		c.store.ReadModifyWrite(uint64(r.chooser.Next(c.rng)))
+	default:
+		if err := c.store.Scan(uint64(r.chooser.Next(c.rng)), 100); err != nil {
+			r.unsupported = true
 		}
 	}
+	c.m.EndOp()
+	r.lat.Add(float64(c.m.Clock.Now() - opStart))
+	r.done++
+	return r.done < r.ops && !r.unsupported
+}
 
-	elapsed := sim.Duration(c.m.Clock.Now() - start)
+// Finish computes the run's result.
+func (r *Run) Finish() RunResult {
+	c := r.c
+	elapsed := sim.Duration(c.m.Clock.Now() - r.start)
 	res := RunResult{
-		Workload:    w.Name,
-		Ops:         c.m.Ops - startOps,
+		Workload:    r.w.Name,
+		Ops:         c.m.Ops - r.startOps,
 		Elapsed:     elapsed,
-		Unsupported: unsupported,
-		P50:         sim.Duration(lat.Percentile(50)),
-		P95:         sim.Duration(lat.Percentile(95)),
-		P99:         sim.Duration(lat.Percentile(99)),
-		MeanLatency: sim.Duration(lat.Mean()),
+		Unsupported: r.unsupported,
+		P50:         sim.Duration(r.lat.Percentile(50)),
+		P95:         sim.Duration(r.lat.Percentile(95)),
+		P99:         sim.Duration(r.lat.Percentile(99)),
+		MeanLatency: sim.Duration(r.lat.Mean()),
 	}
-	if elapsed > 0 && !unsupported {
+	if elapsed > 0 && !r.unsupported {
 		res.Throughput = float64(res.Ops) / elapsed.Seconds()
 	}
 	return res

@@ -49,6 +49,7 @@ func main() {
 	benchOut := flag.String("bench-out", "", "run the simulator perf suite and write its JSON report (pages/sec, ns/access per workload) to this file")
 	benchCompare := flag.String("bench-compare", "", "with -bench-out: compare against this baseline BENCH_*.json and exit 1 on regression")
 	benchTolerance := flag.Float64("bench-tolerance", 5, "with -bench-compare: allowed slowdown factor vs the baseline before failing")
+	tiers := flag.String("tiers", "", "explicit tier hierarchy as name:frames pairs, fastest first (e.g. dram:1024,cxl:2048,pm:8192,ssd:*), applied to every machine the experiments build")
 	soak := flag.String("soak", "", "run a resumable soak of this policy over the paper's workload sequence (composes with -snapshot/-restore/-audit/-invariants-every)")
 	soakOps := flag.Int64("soak-ops", 0, "with -soak: ops per workload (0 = the -quick/full scale default)")
 	var snap cliutil.SnapshotFlags
@@ -75,6 +76,12 @@ func main() {
 		})
 	}
 
+	if *tiers != "" {
+		if _, err := cliutil.ParseTierSpec(*tiers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(cliutil.ExitUsage)
+		}
+	}
 	if err := cliutil.ValidateExportFlags(*series, *lifecycleMod, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(cliutil.ExitUsage)
@@ -92,7 +99,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mcbench: -soak is its own mode; drop -exp/-bench-out")
 			os.Exit(cliutil.ExitUsage)
 		}
-		os.Exit(runSoak(*soak, bench.Options{Quick: *quick, Seed: *seed, Chaos: chaos},
+		os.Exit(runSoak(*soak, bench.Options{Quick: *quick, Seed: *seed, Chaos: chaos, Tiers: *tiers},
 			*soakOps, snap, *metricsOut, *traceEvents))
 	}
 
@@ -138,6 +145,7 @@ func main() {
 	opt := bench.Options{
 		Quick: *quick, Seed: *seed, Parallel: workers, Chaos: chaos,
 		Series: sim.Duration(series.Nanoseconds()), Lifecycle: *lifecycleMod,
+		Tiers: *tiers,
 	}
 	var pool *metrics.Pool
 	if *metricsOut != "" {

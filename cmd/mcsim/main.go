@@ -46,6 +46,7 @@ type config struct {
 	replayFast  bool
 	dram        int
 	pm          int
+	tiers       string
 	scan        multiclock.Duration
 	seed        uint64
 	chaos       multiclock.FaultConfig
@@ -70,6 +71,7 @@ func main() {
 	replayFast := flag.Bool("replay-fast", false, "replay back-to-back instead of original pacing")
 	dram := flag.Int("dram", 1024, "DRAM pages")
 	pm := flag.Int("pm", 8192, "PM pages")
+	tiers := flag.String("tiers", "", "explicit tier hierarchy as name:frames pairs, fastest first (e.g. dram:1024,cxl:2048,pm:8192,ssd:*); overrides -dram/-pm")
 	interval := flag.Duration("interval", 0, "scan interval (virtual; default 100ms)")
 	parallel := flag.Int("parallel", 1, "max policies simulated at once (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -86,6 +88,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
 		os.Exit(2)
+	}
+	if *tiers != "" {
+		if _, err := cliutil.ParseTierSpec(*tiers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(cliutil.ExitUsage)
+		}
 	}
 	if err := cliutil.ValidateExportFlags(*series, *lifecycleMod, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -134,8 +142,9 @@ func main() {
 		}
 		cfg := config{
 			policy: policies[0], workload: *workload, sequence: *sequence,
-			records: *records, ops: *ops, dram: *dram, pm: *pm, scan: scan,
-			seed: *seed, chaos: chaos, metrics: *metricsOut != "", traceEvents: *traceEvents,
+			records: *records, ops: *ops, dram: *dram, pm: *pm, tiers: *tiers,
+			scan: scan, seed: *seed, chaos: chaos,
+			metrics: *metricsOut != "", traceEvents: *traceEvents,
 		}
 		os.Exit(runSnapshotMode(cfg, snap, *metricsOut))
 	}
@@ -160,7 +169,7 @@ func main() {
 			policy: p, workload: *workload, sequence: *sequence, gapbs: *gapbs,
 			records: *records, ops: *ops, vertices: *vertices, degree: *degree,
 			record: *record, replay: *replay, replayFast: *replayFast,
-			dram: *dram, pm: *pm, scan: scan, seed: *seed, chaos: chaos,
+			dram: *dram, pm: *pm, tiers: *tiers, scan: scan, seed: *seed, chaos: chaos,
 			metrics: *metricsOut != "", traceEvents: *traceEvents,
 			series: multiclock.Duration(series.Nanoseconds()), lifecycle: *lifecycleMod,
 			label: label,
@@ -215,14 +224,23 @@ func main() {
 // human-readable outcome to w, and returns the metrics snapshot when
 // collection was requested.
 func runOne(w io.Writer, cfg config) (*multiclock.MetricsRun, error) {
-	sys := multiclock.NewSystem(multiclock.Config{
+	syscfg := multiclock.Config{
 		Policy:       multiclock.Policy(cfg.policy),
 		DRAMPages:    cfg.dram,
 		PMPages:      cfg.pm,
 		ScanInterval: cfg.scan,
 		Seed:         cfg.seed,
 		Chaos:        cfg.chaos,
-	})
+	}
+	if cfg.tiers != "" {
+		// Validated at flag-parse time; re-parse for the topology value.
+		top, err := cliutil.ParseTierSpec(cfg.tiers)
+		if err != nil {
+			return nil, err
+		}
+		syscfg.Tiers = &top
+	}
+	sys := multiclock.NewSystem(syscfg)
 	defer sys.Stop()
 
 	var collector *multiclock.Metrics

@@ -30,6 +30,7 @@ func runSnapshotMode(cfg config, snap cliutil.SnapshotFlags, metricsOut string) 
 		Ops:         cfg.ops,
 		DRAMPages:   cfg.dram,
 		PMPages:     cfg.pm,
+		Tiers:       cfg.tiers,
 		Interval:    cfg.scan,
 		Seed:        cfg.seed,
 		Chaos:       cfg.chaos,

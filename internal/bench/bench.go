@@ -21,11 +21,11 @@ import (
 	"sort"
 	"strings"
 
+	"multiclock/internal/cliutil"
 	"multiclock/internal/core"
 	"multiclock/internal/fault"
 	"multiclock/internal/lifecycle"
 	"multiclock/internal/machine"
-	"multiclock/internal/mem"
 	"multiclock/internal/metrics"
 	"multiclock/internal/policy"
 	"multiclock/internal/sim"
@@ -69,6 +69,12 @@ type Options struct {
 	// modulus (1 traces every page); the timelines ride the run's metrics
 	// export. Requires Metrics.
 	Lifecycle uint64
+	// Tiers, when non-empty, replaces the default two-tier machine with the
+	// hierarchy this -tiers spec describes (cliutil.ParseTierSpec syntax,
+	// e.g. "dram:1024,cxl:2048,pm:8192") on every machine the experiments
+	// build. Callers validate the spec up front; machineFor panics on a bad
+	// one.
+	Tiers string
 }
 
 // workers resolves Parallel for runner.Map.
@@ -181,6 +187,8 @@ type scale struct {
 	// instrumented cell (see Options).
 	Series    sim.Duration
 	Lifecycle uint64
+	// Tiers is the Options tier spec, applied by machineFor.
+	Tiers string
 }
 
 // instrument claims a collector labeled sc.MetricsPrefix+label, binds it to
@@ -212,6 +220,7 @@ func (o Options) scale() scale {
 	sc.Metrics = o.Metrics
 	sc.Series = o.Series
 	sc.Lifecycle = o.Lifecycle
+	sc.Tiers = o.Tiers
 	return sc
 }
 
@@ -252,11 +261,19 @@ func (o Options) sizes() scale {
 	}
 }
 
-// machineFor builds the standard two-node experiment machine.
+// machineFor builds the standard two-node experiment machine, or the
+// explicit hierarchy when the scale carries a tier spec.
 func machineFor(sc scale, seed uint64, p machine.Policy) *machine.Machine {
 	cfg := machine.DefaultConfig()
 	cfg.Mem.DRAMNodes = []int{sc.DRAMPages}
 	cfg.Mem.PMNodes = []int{sc.PMPages}
+	if sc.Tiers != "" {
+		top, err := cliutil.ParseTierSpec(sc.Tiers)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		cfg.Mem.Topology = &top
+	}
 	cfg.Seed = seed
 	cfg.OpCost = 1 * sim.Microsecond
 	cfg.Faults = sc.Chaos
@@ -339,5 +356,3 @@ func tierSummary(m *machine.Machine) string {
 	return fmt.Sprintf("DRAM-hit=%.1f%% promos=%d demos=%d hintfaults=%d swaps=%d",
 		100*c.DRAMHitRatio(), c.Promotions, c.Demotions, c.HintFaults, c.SwapOuts)
 }
-
-var _ = mem.TierDRAM

@@ -7,6 +7,7 @@ package bench
 // migration-failure rate costs at most a bounded factor of virtual time.
 
 import (
+	"reflect"
 	"testing"
 
 	"multiclock/internal/fault"
@@ -114,7 +115,7 @@ func TestChaosDeterminism(t *testing.T) {
 		fcfg := fault.UniformRate(77, 0.02)
 		e1, c1, f1 := chaosRun(t, system, 9, chaosOps(t)/2, fcfg)
 		e2, c2, f2 := chaosRun(t, system, 9, chaosOps(t)/2, fcfg)
-		if e1 != e2 || c1 != c2 || f1 != f2 {
+		if e1 != e2 || !reflect.DeepEqual(c1, c2) || f1 != f2 {
 			t.Fatalf("%s: chaos run not reproducible:\n%v %+v %+v\nvs\n%v %+v %+v",
 				system, e1, c1, f1, e2, c2, f2)
 		}
@@ -139,7 +140,7 @@ func TestChaosZeroRateIsNoOp(t *testing.T) {
 	for _, system := range append([]string{"multiclock"}, bakeoffExtras...) {
 		e1, c1, f1 := chaosRun(t, system, 5, ops, fault.Config{})
 		e2, c2, f2 := chaosRun(t, system, 5, ops, fault.Config{Seed: 99})
-		if e1 != e2 || c1 != c2 || f1 != f2 {
+		if e1 != e2 || !reflect.DeepEqual(c1, c2) || f1 != f2 {
 			t.Fatalf("%s: zero-rate run diverged from fault-free run: %v vs %v", system, e1, e2)
 		}
 		if f1.Total() != 0 || f2.Total() != 0 {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 
+	"multiclock/internal/cliutil"
 	"multiclock/internal/fault"
 	"multiclock/internal/kvstore"
 	"multiclock/internal/machine"
@@ -38,6 +39,11 @@ type SoakConfig struct {
 	// DRAMPages and PMPages size the two memory nodes.
 	DRAMPages int
 	PMPages   int
+	// Tiers, when non-empty, replaces the two-node machine with this
+	// -tiers hierarchy spec (cliutil.ParseTierSpec syntax). The spec
+	// travels in the snapshot config section, so a restored session
+	// rebuilds the same hierarchy.
+	Tiers string
 	// Interval is the policy scan interval (0 = DefaultScanInterval).
 	Interval sim.Duration
 	// Seed drives the machine; the YCSB client derives its stream from it.
@@ -51,7 +57,8 @@ type SoakConfig struct {
 }
 
 // soakConfigVersion guards the config-section layout inside the container.
-const soakConfigVersion = 1
+// Version 2 added the tier-hierarchy spec.
+const soakConfigVersion = 2
 
 // Session is one live checkpointable system.
 type Session struct {
@@ -100,6 +107,13 @@ func newPristine(cfg SoakConfig) (*Session, error) {
 	mcfg := machine.DefaultConfig()
 	mcfg.Mem.DRAMNodes = []int{cfg.DRAMPages}
 	mcfg.Mem.PMNodes = []int{cfg.PMPages}
+	if cfg.Tiers != "" {
+		top, err := cliutil.ParseTierSpec(cfg.Tiers)
+		if err != nil {
+			return nil, fmt.Errorf("bench: soak tier spec: %w", err)
+		}
+		mcfg.Mem.Topology = &top
+	}
 	mcfg.Seed = cfg.Seed
 	mcfg.OpCost = 1 * sim.Microsecond
 	mcfg.Faults = cfg.Chaos
@@ -318,8 +332,12 @@ func (s *Session) boundary(h SoakHooks) error {
 // bytes, so a straight run and a restored run print identical reports.
 func (s *Session) Report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "soak: policy=%s workloads=%s records=%d ops/workload=%d seed=%d\n",
+	fmt.Fprintf(&b, "soak: policy=%s workloads=%s records=%d ops/workload=%d seed=%d",
 		s.Cfg.Policy, strings.Join(s.Cfg.Workloads, ","), s.Cfg.Records, s.Cfg.Ops, s.Cfg.Seed)
+	if s.Cfg.Tiers != "" {
+		fmt.Fprintf(&b, " tiers=%s", s.Cfg.Tiers)
+	}
+	b.WriteByte('\n')
 	fmt.Fprintf(&b, "%-8s %14s %10s %10s %10s\n", "workload", "ops/s", "p50", "p95", "p99")
 	for _, r := range s.results {
 		if r.Unsupported {
@@ -365,6 +383,7 @@ func SoakConfigFor(policy string, opt Options, ops int64, metricsOn bool, traceE
 		Ops:         ops,
 		DRAMPages:   sc.DRAMPages,
 		PMPages:     sc.PMPages,
+		Tiers:       opt.Tiers,
 		Interval:    sc.Interval,
 		Seed:        opt.Seed,
 		Chaos:       opt.Chaos,
@@ -485,6 +504,7 @@ func (s *Session) encodeSessionState() []byte {
 	enc.I64(c.Ops)
 	enc.Int(c.DRAMPages)
 	enc.Int(c.PMPages)
+	enc.String(c.Tiers)
 	enc.I64(int64(c.Interval))
 	enc.U64(c.Seed)
 	enc.U64(c.Chaos.Seed)
@@ -538,6 +558,7 @@ func decodeSessionState(payload []byte) (cfg SoakConfig, widx int, results []ycs
 	cfg.Ops = dec.I64()
 	cfg.DRAMPages = dec.Int()
 	cfg.PMPages = dec.Int()
+	cfg.Tiers = dec.String()
 	cfg.Interval = sim.Duration(dec.I64())
 	cfg.Seed = dec.U64()
 	cfg.Chaos.Seed = dec.U64()

@@ -6,6 +6,7 @@ package bench
 // individual packages cannot see.
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -117,7 +118,7 @@ func TestDeterminismAcrossPolicies(t *testing.T) {
 		system := systems[int(sysIdx)%len(systems)]
 		e1, c1 := run(system, seed)
 		e2, c2 := run(system, seed)
-		return e1 == e2 && c1 == c2
+		return e1 == e2 && reflect.DeepEqual(c1, c2)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Fatal(err)

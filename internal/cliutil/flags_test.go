@@ -126,6 +126,12 @@ func TestCLIsFailIdentically(t *testing.T) {
 		{"-series", "10ms"},
 		{"-lifecycle", "1"},
 		{"-series", "10ms", "-lifecycle", "1"},
+		// Bad -tiers specs fail through the shared parser, so the message
+		// (tier set, frame-count complaint, duplicate) is also identical.
+		{"-tiers", "hbm:64"},
+		{"-tiers", "dram:0,pm:64"},
+		{"-tiers", "dram:64,pm:64,dram:64"},
+		{"-tiers", "ssd:*,dram:64"},
 	}
 	for _, extra := range combos {
 		simCode, simMsg := runCLI(t, mcsim, extra...)

@@ -1,0 +1,59 @@
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"multiclock/internal/mem"
+)
+
+// ParseTierSpec parses the shared -tiers flag syntax into a memory
+// topology: comma-separated name:frames entries, fastest tier first, e.g.
+// "dram:1024,cxl:2048,pm:8192,ssd:*". Repeating a name in consecutive
+// entries adds another NUMA node to that tier ("dram:512,dram:512" is a
+// two-node DRAM tier); "*" in place of a frame count is only valid for the
+// durable tier, which has no frames. Tier names come from
+// mem.BuiltinTiers. Both CLIs route the spec through here so a bad spec
+// fails with the same message no matter which binary saw it.
+func ParseTierSpec(spec string) (mem.Topology, error) {
+	var top mem.Topology
+	if strings.TrimSpace(spec) == "" {
+		return top, fmt.Errorf("-tiers: empty spec; want name:frames pairs like %q", "dram:1024,pm:4096")
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		name, frames, ok := strings.Cut(entry, ":")
+		if !ok || name == "" || frames == "" {
+			return top, fmt.Errorf("-tiers: entry %q must be name:frames (or name:* for the durable tier)", entry)
+		}
+		ts, known := mem.BuiltinTierSpec(name)
+		if !known {
+			return top, fmt.Errorf("-tiers: unknown tier %q (have %s)", name, strings.Join(mem.BuiltinTiers, ", "))
+		}
+		if frames == "*" {
+			if !ts.Durable {
+				return top, fmt.Errorf("-tiers: tier %q needs a frame count; \"*\" is only for the durable tier", name)
+			}
+		} else {
+			if ts.Durable {
+				return top, fmt.Errorf("-tiers: durable tier %q has no frames; write %s:*", name, name)
+			}
+			n, err := strconv.Atoi(frames)
+			if err != nil || n <= 0 {
+				return top, fmt.Errorf("-tiers: tier %q needs a positive frame count, got %q", name, frames)
+			}
+			ts.Nodes = []int{n}
+		}
+		// A repeat of the previous entry's name grows that tier by one node.
+		if last := len(top.Tiers) - 1; last >= 0 && top.Tiers[last].Name == name {
+			top.Tiers[last].Nodes = append(top.Tiers[last].Nodes, ts.Nodes...)
+			continue
+		}
+		top.Tiers = append(top.Tiers, ts)
+	}
+	if err := top.Validate(); err != nil {
+		return top, fmt.Errorf("-tiers: %v", err)
+	}
+	return top, nil
+}

@@ -143,7 +143,7 @@ type MultiClock struct {
 	// Reusable candidate buffers so every daemon wakeup is allocation
 	// free. promoteBuf and demoteBuf must stay distinct: demoteFrom nests
 	// inside kpromoted's candidate iteration (promoteIsolated →
-	// makeRoomInDRAM → demoteFrom), so one shared buffer would clobber
+	// makeRoomIn → demoteFrom), so one shared buffer would clobber
 	// the outer loop. orderBuf serves the WriteBias reorder only.
 	promoteBuf []*mem.Page
 	demoteBuf  []*mem.Page
@@ -300,7 +300,7 @@ func (mc *MultiClock) kpromoted(node mem.NodeID) int {
 	if m.Metrics != nil {
 		m.Metrics.QueueDepth("promote_queue_depth", len(candidates), m.Clock.Now())
 	}
-	if tier == mem.TierDRAM {
+	if tier == m.Mem.FastestTier() {
 		// Top tier: nothing higher. Promote-list residents return to the
 		// active list — they are simply the hottest pages where they are.
 		for _, pg := range candidates {
@@ -408,16 +408,21 @@ func (mc *MultiClock) retryPromote(pg *mem.Page) {
 	mc.M.Vecs[pg.Node].Putback(pg)
 }
 
-// promoteIsolated migrates one isolated page to the DRAM tier, demoting
-// cold DRAM pages first when DRAM is under pressure ("promotions from the
-// lower tier result in immediate page demotions from the higher tier",
-// §III-C). demand sizes the room-making to the whole promotion batch.
+// promoteIsolated migrates one isolated page to the tier above its current
+// one, demoting cold pages from that tier first when it is under pressure
+// ("promotions from the lower tier result in immediate page demotions from
+// the higher tier", §III-C). demand sizes the room-making to the whole
+// promotion batch.
 func (mc *MultiClock) promoteIsolated(pg *mem.Page, demand int) bool {
 	m := mc.M
-	dst := m.Mem.PickNode(mem.TierDRAM)
+	up, ok := m.Mem.Above(m.Mem.Tier(pg))
+	if !ok {
+		return false
+	}
+	dst := m.Mem.PickNode(up)
 	if dst == mem.NoNode || m.Mem.Nodes[dst].UnderMin() {
-		mc.makeRoomInDRAM(demand)
-		dst = m.Mem.PickNode(mem.TierDRAM)
+		mc.makeRoomIn(up, demand)
+		dst = m.Mem.PickNode(up)
 		if dst == mem.NoNode {
 			return false
 		}
@@ -425,10 +430,10 @@ func (mc *MultiClock) promoteIsolated(pg *mem.Page, demand int) bool {
 	return m.MigrateIsolated(pg, dst)
 }
 
-// makeRoomInDRAM demotes from every DRAM node under pressure, aiming to
+// makeRoomIn demotes from every node of tier t under pressure, aiming to
 // free about `demand` frames across the tier.
-func (mc *MultiClock) makeRoomInDRAM(demand int) {
-	nodes := mc.M.Mem.TierNodes(mem.TierDRAM)
+func (mc *MultiClock) makeRoomIn(t mem.Tier, demand int) {
+	nodes := mc.M.Mem.TierNodes(t)
 	perNode := demand/len(nodes) + 1
 	for _, id := range nodes {
 		if mc.M.Mem.Nodes[id].UnderHigh() {
@@ -485,15 +490,16 @@ func (mc *MultiClock) demoteFrom(node mem.NodeID, extra int) {
 		}
 	}
 
-	lower := n.Tier + 1
+	lower, hasLower := m.Mem.Below(n.Tier)
 	for _, pg := range candidates {
-		if lower >= mem.NumTiers {
+		if !hasLower {
 			mc.evictIsolated(pg)
 			continue
 		}
 		dst := m.Mem.PickNode(lower)
 		if dst == mem.NoNode {
-			// Lower tier full too: write back to storage instead.
+			// Lower tier full too (or durable, i.e. the swap device):
+			// write back to storage instead.
 			mc.evictIsolated(pg)
 			continue
 		}

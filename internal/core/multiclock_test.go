@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"multiclock/internal/fault"
@@ -330,7 +331,7 @@ func TestDeterminism(t *testing.T) {
 	if e1 != e2 {
 		t.Fatalf("elapsed differs: %v vs %v", e1, e2)
 	}
-	if c1 != c2 {
+	if !reflect.DeepEqual(c1, c2) {
 		t.Fatalf("counters differ:\n%+v\n%+v", c1, c2)
 	}
 }

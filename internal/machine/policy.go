@@ -89,8 +89,9 @@ type Base struct {
 // this from their own Attach before installing daemons.
 func (b *Base) Attach(m *Machine) { b.M = m }
 
-// AllocOrder births pages in DRAM while it lasts, then PM (§II-A).
-func (b *Base) AllocOrder() []mem.Tier { return mem.DefaultOrder() }
+// AllocOrder births pages in the fastest tier while it lasts, then each
+// slower tier in turn (§II-A).
+func (b *Base) AllocOrder() []mem.Tier { return b.M.Mem.BirthOrder() }
 
 // PageBirth is a no-op.
 func (b *Base) PageBirth(pg *mem.Page) {}
@@ -116,7 +117,7 @@ func (b *Base) Pressure(node mem.NodeID) {}
 func (b *Base) DirectReclaim(n int) int {
 	freed := 0
 	for round := 0; round < 4 && freed < n; round++ {
-		for t := mem.NumTiers - 1; t >= 0 && freed < n; t-- {
+		for t := b.M.Mem.NumTiers() - 1; t >= 0 && freed < n; t-- {
 			for _, id := range b.M.Mem.TierNodes(mem.Tier(t)) {
 				vec := b.M.Vecs[id]
 				// Push active pages toward inactive so sustained

@@ -9,18 +9,20 @@ import (
 
 // Counters are vmstat-style event counts for one System. Policies and the
 // machine increment them; the benchmark harness and telemetry read them.
+// The per-tier slices are sized to the system's topology by NewSystem; a
+// zero-value Counters has none and reports zero everywhere.
 type Counters struct {
-	// Per-tier application access counts.
-	Reads  [NumTiers]int64
-	Writes [NumTiers]int64
+	// Per-tier application access counts, indexed by Tier.
+	Reads  []int64
+	Writes []int64
 
 	// CacheFiltered counts accesses absorbed by the modelled CPU cache
 	// hierarchy; they never reach the memory system and are excluded from
 	// the per-tier counts above.
 	CacheFiltered int64
 
-	Allocs      [NumTiers]int64
-	Frees       [NumTiers]int64
+	Allocs      []int64
+	Frees       []int64
 	MinorFaults int64
 	HintFaults  int64
 
@@ -61,41 +63,86 @@ type Counters struct {
 	// AdmissionRejects counts promotions refused by a migration admission
 	// gate (TierBPF-style bandwidth control).
 	AdmissionRejects int64
+
+	// names are the lower-case tier labels in tier order, driving the
+	// per-tier naming of Each and String.
+	names []string
+}
+
+// newCounters returns counters sized (and labeled) for the topology.
+func newCounters(top Topology) Counters {
+	n := len(top.Tiers)
+	c := Counters{
+		Reads:  make([]int64, n),
+		Writes: make([]int64, n),
+		Allocs: make([]int64, n),
+		Frees:  make([]int64, n),
+		names:  make([]string, n),
+	}
+	for i, ts := range top.Tiers {
+		c.names[i] = ts.Name
+	}
+	return c
+}
+
+// Clone returns an independent copy. A plain struct copy shares the
+// per-tier slices with the original; callers snapshotting a baseline (the
+// time-series sampler) must use Clone.
+func (c *Counters) Clone() Counters {
+	out := *c
+	out.Reads = append([]int64(nil), c.Reads...)
+	out.Writes = append([]int64(nil), c.Writes...)
+	out.Allocs = append([]int64(nil), c.Allocs...)
+	out.Frees = append([]int64(nil), c.Frees...)
+	return out
 }
 
 // DRAMHitRatio returns the fraction of application accesses served from
-// DRAM, the primary explanatory metric for tiering performance.
+// the fastest tier (DRAM in every calibrated topology), the primary
+// explanatory metric for tiering performance.
 func (c *Counters) DRAMHitRatio() float64 {
-	dram := c.Reads[TierDRAM] + c.Writes[TierDRAM]
-	total := dram + c.Reads[TierPM] + c.Writes[TierPM]
+	if len(c.Reads) == 0 {
+		return 0
+	}
+	fast := c.Reads[0] + c.Writes[0]
+	var total int64
+	for i := range c.Reads {
+		total += c.Reads[i] + c.Writes[i]
+	}
 	if total == 0 {
 		return 0
 	}
-	return float64(dram) / float64(total)
+	return float64(fast) / float64(total)
 }
 
 // TotalAccesses returns the number of simulated application accesses.
 func (c *Counters) TotalAccesses() int64 {
 	var t int64
-	for i := Tier(0); i < NumTiers; i++ {
+	for i := range c.Reads {
 		t += c.Reads[i] + c.Writes[i]
 	}
 	return t
 }
 
 // Each visits every counter as a name/value pair in a fixed order, the
-// iteration the metrics exporter serializes as the vmstat section. Names are
-// snake_case and stable across releases; additions append here.
+// iteration the metrics exporter serializes as the vmstat section. Names
+// are snake_case and stable across releases: per-tier families carry the
+// tier label ("reads_dram", "reads_pm", …) in tier order, so any given
+// topology always exports the same names; additions append here.
 func (c *Counters) Each(f func(name string, v int64)) {
-	f("reads_dram", c.Reads[TierDRAM])
-	f("reads_pm", c.Reads[TierPM])
-	f("writes_dram", c.Writes[TierDRAM])
-	f("writes_pm", c.Writes[TierPM])
+	for i, name := range c.names {
+		f("reads_"+name, c.Reads[i])
+	}
+	for i, name := range c.names {
+		f("writes_"+name, c.Writes[i])
+	}
 	f("cache_filtered", c.CacheFiltered)
-	f("allocs_dram", c.Allocs[TierDRAM])
-	f("allocs_pm", c.Allocs[TierPM])
-	f("frees_dram", c.Frees[TierDRAM])
-	f("frees_pm", c.Frees[TierPM])
+	for i, name := range c.names {
+		f("allocs_"+name, c.Allocs[i])
+	}
+	for i, name := range c.names {
+		f("frees_"+name, c.Frees[i])
+	}
 	f("minor_faults", c.MinorFaults)
 	f("hint_faults", c.HintFaults)
 	f("promotions", c.Promotions)
@@ -126,15 +173,32 @@ func (c *Counters) Each(f func(name string, v int64)) {
 	}
 }
 
-// String renders the counters as a compact multi-line report.
+// display renders tier i's report label ("DRAM", "PM", "CXL").
+func (c *Counters) display(i int) string { return strings.ToUpper(c.names[i]) }
+
+// String renders the counters as a compact multi-line report, one access
+// and alloc/free column per tier.
 func (c *Counters) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "accesses: DRAM r=%d w=%d, PM r=%d w=%d (DRAM hit %.1f%%)\n",
-		c.Reads[TierDRAM], c.Writes[TierDRAM], c.Reads[TierPM], c.Writes[TierPM],
-		100*c.DRAMHitRatio())
-	fmt.Fprintf(&b, "allocs: DRAM=%d PM=%d  frees: DRAM=%d PM=%d  minor faults=%d hint faults=%d\n",
-		c.Allocs[TierDRAM], c.Allocs[TierPM], c.Frees[TierDRAM], c.Frees[TierPM],
-		c.MinorFaults, c.HintFaults)
+	b.WriteString("accesses: ")
+	for i := range c.names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s r=%d w=%d", c.display(i), c.Reads[i], c.Writes[i])
+	}
+	if len(c.names) > 0 {
+		fmt.Fprintf(&b, " (%s hit %.1f%%)", c.display(0), 100*c.DRAMHitRatio())
+	}
+	b.WriteString("\nallocs:")
+	for i := range c.names {
+		fmt.Fprintf(&b, " %s=%d", c.display(i), c.Allocs[i])
+	}
+	b.WriteString("  frees:")
+	for i := range c.names {
+		fmt.Fprintf(&b, " %s=%d", c.display(i), c.Frees[i])
+	}
+	fmt.Fprintf(&b, "  minor faults=%d hint faults=%d\n", c.MinorFaults, c.HintFaults)
 	fmt.Fprintf(&b, "promotions=%d demotions=%d migrate-fails=%d swapouts=%d oom=%d scanned=%d migration-busy=%s",
 		c.Promotions, c.Demotions, c.MigrateFails, c.SwapOuts, c.OOMKills, c.PagesScanned,
 		c.MigrationBusy)

@@ -26,7 +26,7 @@ func (s *System) CheckInvariants() error {
 		used += n.UsedFrames()
 	}
 	var allocs, frees int64
-	for t := Tier(0); t < NumTiers; t++ {
+	for t := range s.Counters.Allocs {
 		allocs += s.Counters.Allocs[t]
 		frees += s.Counters.Frees[t]
 	}

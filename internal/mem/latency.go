@@ -9,13 +9,15 @@ import "multiclock/internal/sim"
 // need to match the authors' testbed — only the ratios shape the results.
 type LatencyModel struct {
 	// Read and Write are per-tier access latencies for one page-granular
-	// application access (a cache-missing load or store).
-	Read  [NumTiers]sim.Duration
-	Write [NumTiers]sim.Duration
+	// application access (a cache-missing load or store), indexed by Tier
+	// and sized to the system's topology.
+	Read  []sim.Duration
+	Write []sim.Duration
 
-	// PageCopy is the cost of migrating one page from tier src to tier
-	// dst: allocation, 4 KiB copy, and remapping (migrate_pages).
-	PageCopy [NumTiers][NumTiers]sim.Duration
+	// PageCopy is the topology-sized cost matrix of migrating one page
+	// from tier src to tier dst: allocation, 4 KiB copy, and remapping
+	// (migrate_pages).
+	PageCopy [][]sim.Duration
 
 	// MigrationTax is the portion of a migration charged to the
 	// application timeline (TLB shootdown, page-table locking) even when
@@ -50,29 +52,17 @@ type LatencyModel struct {
 }
 
 // DefaultLatency returns the calibrated model used throughout the
-// evaluation.
+// evaluation, sized for the default two-tier (DRAM + PM) topology. The
+// per-tier numbers are the builtin dram/pm tier specs (DRAM 80/90 ns, PM
+// 300/450 ns, page copies of 1.2 µs DRAM↔DRAM and 3 µs touching PM —
+// 4 KiB over the slower end's bandwidth plus fixed remap overhead).
 func DefaultLatency() LatencyModel {
-	var m LatencyModel
-	m.Read[TierDRAM] = 80 * sim.Nanosecond
-	m.Write[TierDRAM] = 90 * sim.Nanosecond
-	// Optane: random read ≈ 3-4× DRAM; writes costlier still once the
-	// write-pending queue backs up.
-	m.Read[TierPM] = 300 * sim.Nanosecond
-	m.Write[TierPM] = 450 * sim.Nanosecond
+	return DefaultTopology([]int{1}, []int{1}).Latency(defaultScalarLatency())
+}
 
-	copyCost := func(src, dst Tier) sim.Duration {
-		// 4 KiB over the slower of the two tiers' bandwidth plus fixed
-		// remap overhead. DRAM→DRAM ≈ 1.2 µs, anything touching PM ≈ 3 µs.
-		if src == TierPM || dst == TierPM {
-			return 3 * sim.Microsecond
-		}
-		return 1200 * sim.Nanosecond
-	}
-	for s := Tier(0); s < NumTiers; s++ {
-		for d := Tier(0); d < NumTiers; d++ {
-			m.PageCopy[s][d] = copyCost(s, d)
-		}
-	}
+// defaultScalarLatency returns the tier-independent calibrated costs.
+func defaultScalarLatency() LatencyModel {
+	var m LatencyModel
 	// Migrating a mapped page interrupts the application for page-table
 	// locking and TLB shootdown IPIs on every core — microseconds of
 	// application time per page, which is why unselective promotion is
@@ -85,6 +75,25 @@ func DefaultLatency() LatencyModel {
 	m.SwapIn = 60 * sim.Microsecond // NVMe-SSD major fault
 	m.DaemonScanPage = 150 * sim.Nanosecond
 	m.DaemonWakeup = 20 * sim.Microsecond
+	return m
+}
+
+// resizeLatency returns a copy of m whose per-tier slices are sized to n
+// tiers, keeping any values present and zero-filling the rest — the exact
+// semantics a partially specified fixed-array model used to have.
+func resizeLatency(m LatencyModel, n int) LatencyModel {
+	read := make([]sim.Duration, n)
+	copy(read, m.Read)
+	write := make([]sim.Duration, n)
+	copy(write, m.Write)
+	pc := make([][]sim.Duration, n)
+	for i := range pc {
+		pc[i] = make([]sim.Duration, n)
+		if i < len(m.PageCopy) {
+			copy(pc[i], m.PageCopy[i])
+		}
+	}
+	m.Read, m.Write, m.PageCopy = read, write, pc
 	return m
 }
 

@@ -26,16 +26,20 @@ const PageSize = 4096
 type Tier int8
 
 const (
-	// TierDRAM is the high-performance, low-capacity tier.
+	// TierDRAM is the high-performance, low-capacity tier — always tier 0
+	// (the fastest tier) of the default two-tier topology.
 	TierDRAM Tier = iota
 	// TierPM is the persistent-memory tier: higher capacity, higher
-	// latency, asymmetric reads and writes (Intel Optane DCPMM-like).
+	// latency, asymmetric reads and writes (Intel Optane DCPMM-like) —
+	// tier 1 of the default two-tier topology. Deeper hierarchies are
+	// described by a Topology; code that must work on any hierarchy
+	// navigates tier-relatively (System.Above/Below/FastestTier) instead
+	// of naming tiers.
 	TierPM
-	// NumTiers is the number of tiers the model supports.
-	NumTiers
 )
 
-// String returns the conventional name of the tier.
+// String returns the conventional name of the tier under the default
+// two-tier topology; System.TierName resolves names for any hierarchy.
 func (t Tier) String() string {
 	switch t {
 	case TierDRAM:

@@ -21,8 +21,67 @@ import (
 // sorted form both hashes stably and restores to behaviorally identical
 // state.
 
-// SnapshotState encodes the mem section.
+// TopologyMismatchError reports a snapshot taken under a different tier
+// hierarchy than the restore target's. The snapshot layer converts it to
+// its ConfigMismatchError.
+type TopologyMismatchError struct{ Reason string }
+
+func (e *TopologyMismatchError) Error() string { return "topology mismatch: " + e.Reason }
+
+// encodeTopology writes the tier-hierarchy header of the mem section.
+func (s *System) encodeTopology(enc *snapcodec.Encoder) {
+	enc.Int(len(s.Top.Tiers))
+	for _, ts := range s.Top.Tiers {
+		enc.String(ts.Name)
+		enc.Bool(ts.Durable)
+		enc.Int(len(ts.Nodes))
+		for _, f := range ts.Nodes {
+			enc.Int(f)
+		}
+	}
+}
+
+// checkTopology decodes the tier-hierarchy header and compares it against
+// the target's own topology; any skew is a TopologyMismatchError.
+func (s *System) checkTopology(dec *snapcodec.Decoder) error {
+	n := dec.Int()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if n != len(s.Top.Tiers) {
+		return &TopologyMismatchError{Reason: fmt.Sprintf("snapshot has %d tiers, target has %d", n, len(s.Top.Tiers))}
+	}
+	for _, ts := range s.Top.Tiers {
+		name := dec.String()
+		durable := dec.Bool()
+		nodes := dec.Int()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if name != ts.Name || durable != ts.Durable {
+			return &TopologyMismatchError{Reason: fmt.Sprintf("snapshot tier %q (durable=%v), target tier %q (durable=%v)",
+				name, durable, ts.Name, ts.Durable)}
+		}
+		if nodes != len(ts.Nodes) {
+			return &TopologyMismatchError{Reason: fmt.Sprintf("tier %q has %d nodes in snapshot, %d in target", name, nodes, len(ts.Nodes))}
+		}
+		for i, want := range ts.Nodes {
+			got := dec.Int()
+			if dec.Err() != nil {
+				return dec.Err()
+			}
+			if got != want {
+				return &TopologyMismatchError{Reason: fmt.Sprintf("tier %q node %d sized %d in snapshot, %d in target", name, i, got, want)}
+			}
+		}
+	}
+	return nil
+}
+
+// SnapshotState encodes the mem section: the tier-hierarchy header first
+// (restore cross-checks it), then the mutable state.
 func (s *System) SnapshotState(enc *snapcodec.Encoder) {
+	s.encodeTopology(enc)
 	enc.U64(s.pageSeq)
 	enc.Int(s.shadowFrames)
 	s.Counters.encode(enc)
@@ -36,6 +95,9 @@ func (s *System) SnapshotState(enc *snapcodec.Encoder) {
 // RestoreState decodes the mem section into a freshly constructed System of
 // the same configuration (all frames free, zero counters).
 func (s *System) RestoreState(dec *snapcodec.Decoder) error {
+	if err := s.checkTopology(dec); err != nil {
+		return err
+	}
 	s.pageSeq = dec.U64()
 	s.shadowFrames = dec.Int()
 	s.Counters.decode(dec)
@@ -119,7 +181,7 @@ func (b *buddy) restore(dec *snapcodec.Decoder) error {
 
 // encode writes every counter field in declaration order.
 func (c *Counters) encode(enc *snapcodec.Encoder) {
-	for t := Tier(0); t < NumTiers; t++ {
+	for t := range c.Reads {
 		enc.I64(c.Reads[t])
 		enc.I64(c.Writes[t])
 		enc.I64(c.Allocs[t])
@@ -145,7 +207,7 @@ func (c *Counters) encode(enc *snapcodec.Encoder) {
 }
 
 func (c *Counters) decode(dec *snapcodec.Decoder) {
-	for t := Tier(0); t < NumTiers; t++ {
+	for t := range c.Reads {
 		c.Reads[t] = dec.I64()
 		c.Writes[t] = dec.I64()
 		c.Allocs[t] = dec.I64()

@@ -11,9 +11,15 @@ import (
 type Config struct {
 	// DRAMNodes and PMNodes give the frame count of each node of the
 	// respective tier; e.g. two sockets with DRAM + hot-plugged PM would
-	// be DRAMNodes: {N, N}, PMNodes: {M, M}.
+	// be DRAMNodes: {N, N}, PMNodes: {M, M}. They describe the classic
+	// two-tier hierarchy; Topology supersedes them when set.
 	DRAMNodes []int
 	PMNodes   []int
+
+	// Topology, when non-nil, gives the full tier hierarchy (any depth,
+	// per-tier latencies, optional durable last tier) and wins over
+	// DRAMNodes/PMNodes.
+	Topology *Topology
 
 	Watermarks WatermarkConfig
 	Latency    LatencyModel
@@ -31,11 +37,37 @@ func DefaultConfig() Config {
 	}
 }
 
+// topology resolves the hierarchy a Config describes: an explicit Topology
+// verbatim, else the legacy DRAM/PM pair with its per-tier latencies lifted
+// from cfg.Latency (so a customized two-tier latency model keeps working).
+func (cfg Config) topology() Topology {
+	if cfg.Topology != nil {
+		return *cfg.Topology
+	}
+	if len(cfg.DRAMNodes) == 0 {
+		panic("mem: need at least one DRAM node")
+	}
+	top := DefaultTopology(cfg.DRAMNodes, cfg.PMNodes)
+	for t := range top.Tiers {
+		if t < len(cfg.Latency.Read) {
+			top.Tiers[t].Read = cfg.Latency.Read[t]
+		}
+		if t < len(cfg.Latency.Write) {
+			top.Tiers[t].Write = cfg.Latency.Write[t]
+		}
+	}
+	return top
+}
+
 // System is the whole physical memory of the simulated machine.
 type System struct {
 	Nodes    []*Node
 	Lat      LatencyModel
 	Counters Counters
+
+	// Top is the tier hierarchy the system was built from, fastest tier
+	// first (tier t is Top.Tiers[t]).
+	Top Topology
 
 	// Faults optionally injects deterministic hardware/kernel faults into
 	// migration and allocation. Nil (the default) injects nothing and adds
@@ -43,7 +75,13 @@ type System struct {
 	Faults *fault.Injector
 
 	// tiers caches node IDs per tier in ID order for allocation fallback.
-	tiers [NumTiers][]NodeID
+	// A durable last tier has an (always empty) slot, so every Tier of the
+	// topology indexes safely.
+	tiers [][]NodeID
+
+	// birthOrder caches the frame-backed tiers in fast-to-slow order: the
+	// default allocation placement.
+	birthOrder []Tier
 
 	// descSlab bump-allocates page descriptors in chunks so page births
 	// (and huge-page splits) do not pay one heap allocation per
@@ -87,28 +125,84 @@ func (s *System) newPage() *Page {
 }
 
 // NewSystem builds the node set from cfg. The clock supplies timestamps for
-// page birth and telemetry.
+// page birth and telemetry. Nodes are created tier by tier in topology
+// order, so node IDs ascend from the fastest tier down.
 func NewSystem(clock *sim.Clock, cfg Config) *System {
-	if len(cfg.DRAMNodes) == 0 {
-		panic("mem: need at least one DRAM node")
+	top := cfg.topology()
+	if err := top.Validate(); err != nil {
+		panic("mem: " + err.Error())
 	}
-	s := &System{Lat: cfg.Latency, clock: clock}
-	add := func(tier Tier, frames, socket int) {
-		id := NodeID(len(s.Nodes))
-		s.Nodes = append(s.Nodes, newNode(id, tier, frames, cfg.Watermarks, socket))
-		s.tiers[tier] = append(s.tiers[tier], id)
+	s := &System{Top: top, clock: clock, tiers: make([][]NodeID, len(top.Tiers))}
+	switch {
+	case len(cfg.Latency.Read) == len(top.Tiers) &&
+		len(cfg.Latency.Write) == len(top.Tiers) &&
+		len(cfg.Latency.PageCopy) == len(top.Tiers):
+		// A latency model already sized to the hierarchy (the default
+		// two-tier model, or a caller-tuned one) is used verbatim.
+		s.Lat = cfg.Latency
+	case cfg.Topology != nil:
+		// An explicit hierarchy derives its per-tier costs from the tier
+		// specs; the scalar costs come from the configured model.
+		s.Lat = top.Latency(cfg.Latency)
+	default:
+		// Legacy two-tier configs with partially specified per-tier costs
+		// keep the fixed-array semantics: missing entries are zero.
+		s.Lat = resizeLatency(cfg.Latency, len(top.Tiers))
 	}
-	for i, f := range cfg.DRAMNodes {
-		add(TierDRAM, f, i)
-	}
-	for i, f := range cfg.PMNodes {
-		add(TierPM, f, i)
+	s.Counters = newCounters(top)
+	for t, ts := range top.Tiers {
+		for socket, frames := range ts.Nodes {
+			id := NodeID(len(s.Nodes))
+			s.Nodes = append(s.Nodes, newNode(id, Tier(t), frames, cfg.Watermarks, socket))
+			s.tiers[t] = append(s.tiers[t], id)
+		}
+		if !ts.Durable {
+			s.birthOrder = append(s.birthOrder, Tier(t))
+		}
 	}
 	return s
 }
 
 // Clock returns the virtual clock the system stamps events with.
 func (s *System) Clock() *sim.Clock { return s.clock }
+
+// NumTiers returns the number of tiers in the hierarchy, including a
+// durable last tier.
+func (s *System) NumTiers() int { return len(s.tiers) }
+
+// TierName returns tier t's report label ("DRAM", "CXL", "PM", "SSD").
+func (s *System) TierName(t Tier) string { return s.Counters.display(int(t)) }
+
+// FastestTier returns the highest-performing tier (always tier 0).
+func (s *System) FastestTier() Tier { return 0 }
+
+// SlowestTier returns the slowest frame-backed tier — the last tier pages
+// can actually live on; a durable swap tier below it is not included.
+func (s *System) SlowestTier() Tier { return s.birthOrder[len(s.birthOrder)-1] }
+
+// DurableLastTier reports whether the hierarchy ends in a durable
+// (storage-backed) tier subsuming the swap path.
+func (s *System) DurableLastTier() bool {
+	return s.Top.Tiers[len(s.Top.Tiers)-1].Durable
+}
+
+// Above returns the tier one step faster than t, if any.
+func (s *System) Above(t Tier) (Tier, bool) {
+	if t <= 0 {
+		return 0, false
+	}
+	return t - 1, true
+}
+
+// Below returns the tier one step slower than t, if any. A durable last
+// tier is a valid result: it has no nodes, so PickNodeBelow reports NoNode
+// there and the caller falls back to swap-out.
+func (s *System) Below(t Tier) (Tier, bool) {
+	if int(t)+1 >= len(s.tiers) {
+		return t, false
+	}
+	return t + 1, true
+}
 
 // TierNodes returns the node IDs belonging to tier t.
 func (s *System) TierNodes(t Tier) []NodeID { return s.tiers[t] }
@@ -198,8 +292,14 @@ func (s *System) Alloc(order []Tier) *Page {
 	return nil
 }
 
-// DefaultOrder is the standard birth placement: DRAM first, then PM.
+// DefaultOrder is the standard two-tier birth placement: DRAM first, then
+// PM. Topology-aware callers use System.BirthOrder instead.
 func DefaultOrder() []Tier { return []Tier{TierDRAM, TierPM} }
+
+// BirthOrder returns the frame-backed tiers in fast-to-slow order: the
+// standard birth placement for any hierarchy. Callers must not mutate the
+// returned slice.
+func (s *System) BirthOrder() []Tier { return s.birthOrder }
 
 // Free releases the page's frames — and any shadow copy still held, so a
 // shadowed page's death cannot leak its second frame. The page must already
@@ -291,6 +391,30 @@ func (s *System) Migrate(pg *Page, dst NodeID) MigrationResult {
 	return MigrationResult{OK: true, From: src, To: dst, Cost: cost, Tax: s.Lat.MigrationTax}
 }
 
+// Promote migrates pg one tier up, onto the emptiest node of the tier
+// above its current one. Fails (without counting a migrate failure) when
+// the page is already on the fastest tier or the tier above has no free
+// frame.
+func (s *System) Promote(pg *Page) MigrationResult {
+	dst := s.PickNodeAbove(s.Tier(pg))
+	if dst == NoNode {
+		return MigrationResult{From: pg.Node, To: NoNode}
+	}
+	return s.Migrate(pg, dst)
+}
+
+// Demote migrates pg one tier down, onto the emptiest node of the tier
+// below its current one. Fails (without counting a migrate failure) when
+// no such node has a free frame — in particular when the tier below is a
+// durable swap tier; the caller's fallback is SwapOut.
+func (s *System) Demote(pg *Page) MigrationResult {
+	dst := s.PickNodeBelow(s.Tier(pg))
+	if dst == NoNode {
+		return MigrationResult{From: pg.Node, To: NoNode}
+	}
+	return s.Migrate(pg, dst)
+}
+
 // Split breaks an isolated compound page into base-page descriptors over
 // the same frames (split_huge_page): the block's frames stay allocated but
 // are now owned by 512 independent pages that can migrate, swap and age
@@ -333,6 +457,28 @@ func (s *System) PickNode(t Tier) NodeID {
 		}
 	}
 	return best
+}
+
+// PickNodeAbove selects the emptiest node of the tier above t (the
+// promotion destination), or NoNode when t is the fastest tier or the tier
+// above is full.
+func (s *System) PickNodeAbove(t Tier) NodeID {
+	up, ok := s.Above(t)
+	if !ok {
+		return NoNode
+	}
+	return s.PickNode(up)
+}
+
+// PickNodeBelow selects the emptiest node of the tier below t (the
+// demotion destination), or NoNode when t is the slowest frame-backed tier
+// (or the tier below is the durable swap tier, which has no nodes).
+func (s *System) PickNodeBelow(t Tier) NodeID {
+	down, ok := s.Below(t)
+	if !ok {
+		return NoNode
+	}
+	return s.PickNode(down)
 }
 
 func (s *System) String() string {

@@ -33,7 +33,7 @@ type Collector struct {
 	migLat     *Histogram
 	passWork   *Histogram
 	queueDepth *Histogram
-	accessLat  [mem.NumTiers][2]*Histogram
+	accessLat  [][2]*Histogram
 
 	queueGauge *Gauge
 
@@ -60,10 +60,13 @@ func NewCollector(reg *Registry) *Collector {
 		minorFault: reg.Counter("minor_faults"),
 		hintFault:  reg.Counter("hint_faults"),
 	}
-	c.accessLat[mem.TierDRAM][0] = reg.Histogram(HistAccessDRAMRead)
-	c.accessLat[mem.TierDRAM][1] = reg.Histogram(HistAccessDRAMWrite)
-	c.accessLat[mem.TierPM][0] = reg.Histogram(HistAccessPMRead)
-	c.accessLat[mem.TierPM][1] = reg.Histogram(HistAccessPMWrite)
+	// Pre-resolve the default two-tier instruments; Bind re-sizes the table
+	// to the machine's actual topology (these names coincide with the
+	// topology-derived ones for any hierarchy starting dram/pm).
+	c.accessLat = [][2]*Histogram{
+		{reg.Histogram(HistAccessDRAMRead), reg.Histogram(HistAccessDRAMWrite)},
+		{reg.Histogram(HistAccessPMRead), reg.Histogram(HistAccessPMWrite)},
+	}
 	return c
 }
 
@@ -76,6 +79,15 @@ func (c *Collector) Bind(m *machine.Machine) *Collector {
 	c.tierOf = func(id mem.NodeID) mem.Tier { return m.Mem.Nodes[id].Tier }
 	c.vmstat = &m.Mem.Counters
 	c.now = m.Clock.Now
+	// Resolve one read/write histogram pair per tier of the machine's
+	// topology ("access_latency_<tier>_read_ns"). For the default two-tier
+	// hierarchy these are exactly the instruments NewCollector registered.
+	tiers := m.Mem.Top.Tiers
+	c.accessLat = make([][2]*Histogram, len(tiers))
+	for i, ts := range tiers {
+		c.accessLat[i][0] = c.reg.Histogram("access_latency_" + ts.Name + "_read_ns")
+		c.accessLat[i][1] = c.reg.Histogram("access_latency_" + ts.Name + "_write_ns")
+	}
 	return c
 }
 
@@ -84,6 +96,9 @@ func (c *Collector) AccessLatency(tier mem.Tier, write bool, lat sim.Duration, n
 	w := 0
 	if write {
 		w = 1
+	}
+	if int(tier) >= len(c.accessLat) {
+		return
 	}
 	if h := c.accessLat[tier][w]; h != nil {
 		h.Observe(int64(lat))

@@ -141,13 +141,25 @@ func (a *AMP) collect(t mem.Tier) []scored {
 	return out
 }
 
+// collectLower gathers every evictable page below the fastest tier, in tier
+// order (promotion candidates).
+func (a *AMP) collectLower() []scored {
+	var out []scored
+	for _, t := range a.M.Mem.BirthOrder()[1:] {
+		out = append(out, a.collect(t)...)
+	}
+	return out
+}
+
 // rebalance is one daemon run: scan and score the full page population
 // (AMP's design scans every page — the cost the paper calls impractical),
-// then exchange the hottest PM pages against the coldest DRAM pages.
+// then exchange the hottest lower-tier pages against the coldest pages of
+// the fastest tier.
 func (a *AMP) rebalance() {
 	m := a.M
-	pmPages := a.collect(mem.TierPM)
-	dramPages := a.collect(mem.TierDRAM)
+	fastest := m.Mem.FastestTier()
+	pmPages := a.collectLower()
+	dramPages := a.collect(fastest)
 	m.Mem.Counters.PagesScanned += int64(len(pmPages) + len(dramPages))
 	m.ChargeTax(m.Mem.Lat.DaemonWakeup +
 		sim.Duration(len(pmPages)+len(dramPages))*m.Mem.Lat.DaemonScanPage)
@@ -162,9 +174,9 @@ func (a *AMP) rebalance() {
 		if !hot.OnList() {
 			continue
 		}
-		dst := m.Mem.PickNode(mem.TierDRAM)
+		dst := m.Mem.PickNode(fastest)
 		if dst == mem.NoNode || m.Mem.Nodes[dst].UnderMin() {
-			// Exchange: demote the coldest DRAM page first.
+			// Exchange: demote the coldest fastest-tier page first.
 			for di < len(dramPages) && !dramPages[di].pg.OnList() {
 				di++
 			}
@@ -177,11 +189,11 @@ func (a *AMP) rebalance() {
 			if a.cfg.Selector != AMPRandom && a.hotness(cold) >= pmPages[i].score {
 				break
 			}
-			pmDst := m.Mem.PickNode(mem.TierPM)
+			pmDst := m.Mem.PickNodeBelow(fastest)
 			if pmDst == mem.NoNode || !m.MigratePage(cold, pmDst) {
 				break
 			}
-			dst = m.Mem.PickNode(mem.TierDRAM)
+			dst = m.Mem.PickNode(fastest)
 			if dst == mem.NoNode {
 				break
 			}

@@ -150,7 +150,7 @@ func (at *AutoTiering) scan(now sim.Time) {
 				// passes it: shift in a zero; a hint fault sets bit 0.
 				if at.cfg.Mode == OPM {
 					pg.Hist = (pg.Hist << 1) & (1<<uint(at.cfg.HistBits) - 1)
-					if pg.Hist == 0 && m.Mem.Tier(pg) == mem.TierDRAM &&
+					if pg.Hist == 0 && m.Mem.Tier(pg) == m.Mem.FastestTier() &&
 						now-pg.LastHint > sim.Time(2*at.cfg.ScanInterval) {
 						demoteCands = append(demoteCands, pg)
 					}
@@ -175,12 +175,13 @@ func (at *AutoTiering) scan(now sim.Time) {
 	}
 }
 
-// demoteCold moves history-cold DRAM pages to PM, keeping promotion
-// headroom (OPM's progressive demotion).
+// demoteCold moves history-cold fastest-tier pages one tier down, keeping
+// promotion headroom (OPM's progressive demotion).
 func (at *AutoTiering) demoteCold(cands []*mem.Page) {
 	m := at.M
+	fastest := m.Mem.FastestTier()
 	budget := at.cfg.DemoteBatch
-	for _, id := range m.Mem.TierNodes(mem.TierDRAM) {
+	for _, id := range m.Mem.TierNodes(fastest) {
 		// Only demote while the node actually needs headroom.
 		n := m.Mem.Nodes[id]
 		target := 4 * n.WM.High
@@ -191,7 +192,7 @@ func (at *AutoTiering) demoteCold(cands []*mem.Page) {
 			if pg.Node != id || !pg.OnList() {
 				continue
 			}
-			dst := m.Mem.PickNode(mem.TierPM)
+			dst := m.Mem.PickNodeBelow(fastest)
 			if dst == mem.NoNode {
 				return
 			}
@@ -219,23 +220,25 @@ func (at *AutoTiering) HintFault(pg *mem.Page, write bool) {
 	pg.LastHint = now
 	pg.Hist |= 1
 
-	if m.Mem.Tier(pg) != mem.TierPM {
+	src := m.Mem.Tier(pg)
+	up, ok := m.Mem.Above(src)
+	if !ok {
 		return
 	}
 	if at.cfg.PromoteWindow > 0 && (prev == 0 || now-prev > sim.Time(at.cfg.PromoteWindow)) {
 		return
 	}
-	// Qualifying fault: promote.
-	dst := pickVictimNode(m, mem.TierDRAM)
+	// Qualifying fault: promote one tier up.
+	dst := pickVictimNode(m, up)
 	if dst == mem.NoNode {
 		switch at.cfg.Mode {
 		case CPM:
 			// Conservative exchange: demote an upper-tier page chosen
-			// without reference information — the oldest-born DRAM page
-			// (its lists never age under fault-based tracking). Under a
-			// skewed workload this regularly evicts hot pages, which is
-			// the placement fragility §V-C.1 observes.
-			if !at.exchangeVictim() {
+			// without reference information — the oldest-born page of the
+			// destination tier (its lists never age under fault-based
+			// tracking). Under a skewed workload this regularly evicts hot
+			// pages, which is the placement fragility §V-C.1 observes.
+			if !at.exchangeVictim(up) {
 				return
 			}
 		case OPM:
@@ -243,7 +246,7 @@ func (at *AutoTiering) HintFault(pg *mem.Page, write bool) {
 			// exists this interval, skip.
 			return
 		}
-		dst = pickVictimNode(m, mem.TierDRAM)
+		dst = pickVictimNode(m, up)
 		if dst == mem.NoNode {
 			return
 		}
@@ -256,17 +259,22 @@ func (at *AutoTiering) HintFault(pg *mem.Page, write bool) {
 		at.Promotions++
 		// Synchronous migration in the fault path: the copy is not
 		// daemon work, it blocks the faulting thread.
-		m.Compute(m.Mem.Lat.PageCopy[mem.TierPM][mem.TierDRAM])
+		m.Compute(m.Mem.Lat.PageCopy[src][up])
 	} else {
 		m.Vecs[pg.Node].Putback(pg)
 	}
 }
 
-// exchangeVictim demotes one DRAM page picked blind (oldest birth) to make
-// room, charging the faulting thread. Returns false when no victim exists.
-func (at *AutoTiering) exchangeVictim() bool {
+// exchangeVictim demotes one tier-t page picked blind (oldest birth) one
+// tier down to make room, charging the faulting thread. Returns false when
+// no victim exists.
+func (at *AutoTiering) exchangeVictim(t mem.Tier) bool {
 	m := at.M
-	for _, id := range m.Mem.TierNodes(mem.TierDRAM) {
+	down, ok := m.Mem.Below(t)
+	if !ok {
+		return false
+	}
+	for _, id := range m.Mem.TierNodes(t) {
 		vec := m.Vecs[id]
 		// The inactive list is birth-ordered FIFO under AutoTiering (no
 		// reference-bit aging), so its tail is simply the oldest page.
@@ -276,14 +284,14 @@ func (at *AutoTiering) exchangeVictim() bool {
 			if victim == nil {
 				continue
 			}
-			dst := m.Mem.PickNode(mem.TierPM)
+			dst := m.Mem.PickNode(down)
 			if dst == mem.NoNode {
 				return false
 			}
 			vec.Isolate(victim)
 			if m.MigrateIsolated(victim, dst) {
 				at.Exchanges++
-				m.Compute(m.Mem.Lat.PageCopy[mem.TierDRAM][mem.TierPM])
+				m.Compute(m.Mem.Lat.PageCopy[t][down])
 				return true
 			}
 			vec.Putback(victim)

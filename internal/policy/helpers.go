@@ -1,0 +1,67 @@
+package policy
+
+import (
+	"multiclock/internal/machine"
+	"multiclock/internal/mem"
+)
+
+// Tier-relative helpers shared by the migrating baselines. Policies in this
+// package never name tiers: they navigate the machine's hierarchy with
+// FastestTier/Above/Below, so the same code drives a two-tier DRAM/PM
+// machine and a four-tier dram/cxl/pm/ssd one.
+
+// demotable reports whether tier t has a frame-backed tier below it — i.e.
+// whether pressure on t can be relieved by demotion rather than swap.
+func demotable(m *machine.Machine, t mem.Tier) bool {
+	down, ok := m.Mem.Below(t)
+	return ok && len(m.Mem.TierNodes(down)) > 0
+}
+
+// promoteDst picks a promotion destination in tier `up`: a node with free
+// frames above its reserve, demoting cold pages from the tier (via the
+// policy's makeRoom) once when every node is at its reserve.
+func promoteDst(m *machine.Machine, up mem.Tier, makeRoom func(mem.Tier)) (mem.NodeID, bool) {
+	dst := pickVictimNode(m, up)
+	if dst == mem.NoNode {
+		makeRoom(up)
+		dst = pickVictimNode(m, up)
+		if dst == mem.NoNode {
+			return mem.NoNode, false
+		}
+	}
+	return dst, true
+}
+
+// relieveTier is the consolidated kswapd-style demotion scan every
+// migrating baseline shares: for each node of tier t under its high
+// watermark, rebalance the recency lists and demote up to `batch` cold
+// victims one tier down — or swap them out when the tier below has no free
+// frame (or is the durable swap tier). tryFirst, when non-nil, gets the
+// first shot at each victim (Nomad's free shadow demotion); a true return
+// consumes the victim. The returned slice is the reusable victim buffer.
+func relieveTier(m *machine.Machine, t mem.Tier, batch int, buf []*mem.Page, tryFirst func(*mem.Page) bool) []*mem.Page {
+	for _, id := range m.Mem.TierNodes(t) {
+		n := m.Mem.Nodes[id]
+		if !n.UnderHigh() {
+			continue
+		}
+		vec := m.Vecs[id]
+		need := n.WM.High - n.FreeFrames()
+		if need > batch {
+			need = batch
+		}
+		vec.BalanceActive(1, batch)
+		victims := vec.AppendDemoteCandidates(buf[:0], need)
+		for _, victim := range victims {
+			if tryFirst != nil && tryFirst(victim) {
+				continue
+			}
+			dst := m.Mem.PickNodeBelow(t)
+			if dst == mem.NoNode || !m.MigrateIsolated(victim, dst) {
+				m.SwapOut(victim)
+			}
+		}
+		buf = victims[:0]
+	}
+	return buf
+}

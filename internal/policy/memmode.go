@@ -24,6 +24,10 @@ type MemoryMode struct {
 	tags  []int64
 	dirty []bool
 
+	// backing is the tier whose latency misses are charged at: the tier
+	// directly below the cache (PM in the default hierarchy).
+	backing mem.Tier
+
 	Hits, Misses int64
 	Writebacks   int64
 }
@@ -34,12 +38,18 @@ func NewMemoryMode() *MemoryMode { return &MemoryMode{} }
 // Name implements machine.Policy.
 func (mm *MemoryMode) Name() string { return "memory-mode" }
 
-// Attach sizes the cache to the machine's DRAM capacity.
+// Attach sizes the cache to the capacity of the machine's fastest tier
+// (the tier the memory controller hides behind the cache).
 func (mm *MemoryMode) Attach(m *machine.Machine) {
 	mm.Base.Attach(m)
-	sets := m.Mem.TierCapacity(mem.TierDRAM)
+	fastest := m.Mem.FastestTier()
+	sets := m.Mem.TierCapacity(fastest)
 	if sets == 0 {
-		panic("policy: Memory-mode needs DRAM to use as cache")
+		panic("policy: Memory-mode needs a fast tier to use as cache")
+	}
+	var ok bool
+	if mm.backing, ok = m.Mem.Below(fastest); !ok {
+		panic("policy: Memory-mode needs a tier below the cache tier")
 	}
 	mm.tags = make([]int64, sets)
 	for i := range mm.tags {
@@ -48,8 +58,9 @@ func (mm *MemoryMode) Attach(m *machine.Machine) {
 	mm.dirty = make([]bool, sets)
 }
 
-// AllocOrder hides DRAM from the system: all pages are born in PM.
-func (mm *MemoryMode) AllocOrder() []mem.Tier { return []mem.Tier{mem.TierPM} }
+// AllocOrder hides the cache tier from the system: pages are born in every
+// tier below it (PM only, in the default hierarchy).
+func (mm *MemoryMode) AllocOrder() []mem.Tier { return mm.M.Mem.BirthOrder()[1:] }
 
 // cacheKey identifies a PM page for tag comparison.
 func cacheKey(pg *mem.Page) int64 {
@@ -61,29 +72,31 @@ func cacheKey(pg *mem.Page) int64 {
 // write-back when the displaced page is dirty).
 func (mm *MemoryMode) Access(pg *mem.Page, write bool) sim.Duration {
 	lat := mm.M.Mem.Lat
+	fastest := mm.M.Mem.FastestTier()
 	key := cacheKey(pg)
 	set := int(uint64(key) % uint64(len(mm.tags)))
 	if mm.tags[set] == key {
 		mm.Hits++
 		if write {
 			mm.dirty[set] = true
-			return lat.Write[mem.TierDRAM]
+			return lat.Write[fastest]
 		}
-		return lat.Read[mem.TierDRAM]
+		return lat.Read[fastest]
 	}
-	// Miss: serve from PM and fill the set.
+	// Miss: serve from the backing tier and fill the set.
 	mm.Misses++
-	cost := lat.AccessCost(mem.TierPM, write)
+	cost := lat.AccessCost(mm.backing, write)
 	if mm.tags[set] >= 0 && mm.dirty[set] {
-		// Write the displaced page back to PM.
+		// Write the displaced page back to the backing tier.
 		mm.Writebacks++
-		cost += lat.Write[mem.TierPM] / 4
+		cost += lat.Write[mm.backing] / 4
 	}
 	mm.tags[set] = key
 	mm.dirty[set] = write
-	// Fill traffic: the demand data must also be written into the DRAM
-	// cache before use (memory-mode misses are slower than raw PM reads).
-	cost += lat.Write[mem.TierDRAM]
+	// Fill traffic: the demand data must also be written into the cache
+	// tier before use (memory-mode misses are slower than raw backing-tier
+	// reads).
+	cost += lat.Write[fastest]
 	return cost
 }
 

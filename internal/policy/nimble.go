@@ -107,7 +107,7 @@ func (nb *Nimble) scan(node mem.NodeID) {
 	stats := vec.ScanCycleRecency(nb.cfg.ScanBatch)
 	nb.ScanTax(stats)
 
-	if m.Mem.Nodes[node].Tier != mem.TierPM {
+	if m.Mem.Nodes[node].Tier == m.Mem.FastestTier() {
 		return
 	}
 	candidates := vec.AppendActiveReferenced(nb.promoteBuf[:0], nb.cfg.ScanBatch, nb.cfg.ScanBatch)
@@ -134,52 +134,33 @@ func (nb *Nimble) scan(node mem.NodeID) {
 	}
 }
 
-// promoteIsolated exchanges the page into DRAM, demoting a cold DRAM page
-// first if no free frame exists (Nimble's two-sided exchange, reduced to
-// its placement effect).
+// promoteIsolated exchanges the page into the tier above it, demoting a
+// cold page from that tier first if no free frame exists (Nimble's
+// two-sided exchange, reduced to its placement effect).
 func (nb *Nimble) promoteIsolated(pg *mem.Page) bool {
 	m := nb.M
-	dst := pickVictimNode(m, mem.TierDRAM)
-	if dst == mem.NoNode {
-		nb.makeRoom()
-		dst = pickVictimNode(m, mem.TierDRAM)
-		if dst == mem.NoNode {
-			return false
-		}
+	up, ok := m.Mem.Above(m.Mem.Tier(pg))
+	if !ok {
+		return false
+	}
+	dst, ok := promoteDst(m, up, nb.makeRoom)
+	if !ok {
+		return false
 	}
 	return m.MigrateIsolated(pg, dst)
 }
 
-// makeRoom demotes cold pages (by its recency lists) from pressured DRAM
-// nodes to PM.
-func (nb *Nimble) makeRoom() {
-	m := nb.M
-	for _, id := range m.Mem.TierNodes(mem.TierDRAM) {
-		n := m.Mem.Nodes[id]
-		if !n.UnderHigh() {
-			continue
-		}
-		vec := m.Vecs[id]
-		need := n.WM.High - n.FreeFrames()
-		if need > nb.cfg.ScanBatch {
-			need = nb.cfg.ScanBatch
-		}
-		vec.BalanceActive(1, nb.cfg.ScanBatch)
-		victims := vec.AppendDemoteCandidates(nb.demoteBuf[:0], need)
-		for _, victim := range victims {
-			pmDst := m.Mem.PickNode(mem.TierPM)
-			if pmDst == mem.NoNode || !m.MigrateIsolated(victim, pmDst) {
-				m.SwapOut(victim)
-			}
-		}
-		nb.demoteBuf = victims[:0]
-	}
+// makeRoom demotes cold pages (by its recency lists) from pressured nodes
+// of tier t one tier down.
+func (nb *Nimble) makeRoom(t mem.Tier) {
+	nb.demoteBuf = relieveTier(nb.M, t, nb.cfg.ScanBatch, nb.demoteBuf, nil)
 }
 
-// Pressure reacts to allocation pressure on DRAM like kswapd.
+// Pressure reacts to allocation pressure on a demotion-capable tier like
+// kswapd.
 func (nb *Nimble) Pressure(node mem.NodeID) {
-	if nb.M.Mem.Nodes[node].Tier == mem.TierDRAM {
-		nb.makeRoom()
+	if t := nb.M.Mem.Nodes[node].Tier; demotable(nb.M, t) {
+		nb.makeRoom(t)
 	}
 }
 

@@ -144,7 +144,7 @@ func (nd *Nomad) scan(node mem.NodeID) {
 	if m.Metrics != nil {
 		m.Metrics.QueueDepth("promote_queue_depth", len(candidates), m.Clock.Now())
 	}
-	if tier == mem.TierDRAM {
+	if tier == m.Mem.FastestTier() {
 		// Top tier: promote-list residents are simply the hottest pages
 		// where they are.
 		for _, pg := range candidates {
@@ -152,7 +152,7 @@ func (nd *Nomad) scan(node mem.NodeID) {
 			vec.Putback(pg)
 		}
 		if m.Mem.Nodes[node].UnderLow() {
-			nd.makeRoom()
+			nd.makeRoom(tier)
 		}
 		return
 	}
@@ -212,13 +212,19 @@ func (nd *Nomad) scan(node mem.NodeID) {
 	}
 }
 
-// promoteShadow commits one transactional promotion: the page moves to DRAM
-// and its PM frame stays behind as the shadow.
+// promoteShadow commits one transactional promotion: the page moves one
+// tier up and its source frame stays behind as the shadow.
 func (nd *Nomad) promoteShadow(pg *mem.Page) bool {
-	dst, ok := nd.promoteDst()
+	dst, ok := nd.dstAbove(pg)
 	if !ok {
 		return false
 	}
+	// A page climbing its second tier still holds the shadow of its first
+	// promotion, two tiers down. That copy is no longer the demotion
+	// target, so give it back before retaining the new source frame.
+	// (Never the case with only two tiers: a page below the fastest tier
+	// cannot hold a shadow there.)
+	nd.M.Mem.DropShadow(pg)
 	if !nd.M.PromoteShadowIsolated(pg, dst) {
 		return false
 	}
@@ -229,64 +235,45 @@ func (nd *Nomad) promoteShadow(pg *mem.Page) bool {
 // promoteExclusive is the fallback ordinary migration (aborted transactions
 // and compound pages).
 func (nd *Nomad) promoteExclusive(pg *mem.Page) bool {
-	dst, ok := nd.promoteDst()
+	dst, ok := nd.dstAbove(pg)
 	if !ok {
 		return false
 	}
 	return nd.M.MigrateIsolated(pg, dst)
 }
 
-// promoteDst picks the DRAM destination, demoting cold DRAM pages first
-// when the tier is under pressure.
-func (nd *Nomad) promoteDst() (mem.NodeID, bool) {
+// dstAbove picks the destination one tier above pg, demoting cold pages
+// from that tier first when it is under pressure.
+func (nd *Nomad) dstAbove(pg *mem.Page) (mem.NodeID, bool) {
 	m := nd.M
-	dst := pickVictimNode(m, mem.TierDRAM)
-	if dst == mem.NoNode {
-		nd.makeRoom()
-		dst = pickVictimNode(m, mem.TierDRAM)
-		if dst == mem.NoNode {
-			return mem.NoNode, false
-		}
+	up, ok := m.Mem.Above(m.Mem.Tier(pg))
+	if !ok {
+		return mem.NoNode, false
 	}
-	return dst, true
+	return promoteDst(m, up, nd.makeRoom)
 }
 
-// makeRoom demotes cold pages from pressured DRAM nodes — for free when the
-// victim still holds a valid shadow (Nomad's headline win: a clean shadowed
-// page demotes by remap alone), by ordinary migration otherwise.
-func (nd *Nomad) makeRoom() {
+// makeRoom demotes cold pages from pressured nodes of tier t — for free
+// when the victim still holds a valid shadow (Nomad's headline win: a clean
+// shadowed page demotes by remap alone), by ordinary migration otherwise.
+func (nd *Nomad) makeRoom(t mem.Tier) {
 	m := nd.M
-	for _, id := range m.Mem.TierNodes(mem.TierDRAM) {
-		n := m.Mem.Nodes[id]
-		if !n.UnderHigh() {
-			continue
+	nd.demoteBuf = relieveTier(m, t, nd.cfg.ScanBatch, nd.demoteBuf, func(victim *mem.Page) bool {
+		if m.DemoteShadowIsolated(victim) {
+			nd.FreeDemotes++
+			return true
 		}
-		vec := m.Vecs[id]
-		need := n.WM.High - n.FreeFrames()
-		if need > nd.cfg.ScanBatch {
-			need = nd.cfg.ScanBatch
-		}
-		vec.BalanceActive(1, nd.cfg.ScanBatch)
-		victims := vec.AppendDemoteCandidates(nd.demoteBuf[:0], need)
-		for _, victim := range victims {
-			if m.DemoteShadowIsolated(victim) {
-				nd.FreeDemotes++
-				continue
-			}
-			pmDst := m.Mem.PickNode(mem.TierPM)
-			if pmDst == mem.NoNode || !m.MigrateIsolated(victim, pmDst) {
-				m.SwapOut(victim)
-			}
-		}
-		nd.demoteBuf = victims[:0]
-	}
+		return false
+	})
 }
 
-// Pressure relieves DRAM pressure by demotion and PM pressure by giving
-// shadow frames back — the non-exclusive copies are strictly expendable.
+// Pressure relieves pressure on a tier that can demote by demotion, and on
+// any other tier by giving shadow frames back — the non-exclusive copies
+// are strictly expendable.
 func (nd *Nomad) Pressure(node mem.NodeID) {
-	if nd.M.Mem.Nodes[node].Tier == mem.TierDRAM {
-		nd.makeRoom()
+	t := nd.M.Mem.Nodes[node].Tier
+	if demotable(nd.M, t) {
+		nd.makeRoom(t)
 		return
 	}
 	nd.reclaimShadows(node)

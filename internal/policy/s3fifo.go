@@ -131,7 +131,7 @@ func (s *S3FIFO) Attach(m *machine.Machine) {
 	s.queues = make([]*s3queues, len(m.Mem.Nodes))
 	for _, n := range m.Mem.Nodes {
 		node := n.ID
-		if n.Tier == mem.TierPM {
+		if n.Tier != m.Mem.FastestTier() {
 			smallCap := int(float64(n.Frames) * s.cfg.SmallFrac)
 			if smallCap < 8 {
 				smallCap = 8
@@ -249,10 +249,10 @@ func (s *S3FIFO) scan(node mem.NodeID) {
 
 	q := s.queues[node]
 	if q == nil {
-		// DRAM node: aging only, plus opportunistic pressure relief.
+		// Fastest tier: aging only, plus opportunistic pressure relief.
 		s.ScanTax(stats)
 		if m.Mem.Nodes[node].UnderLow() {
-			s.makeRoom()
+			s.makeRoom(m.Mem.Nodes[node].Tier)
 		}
 		return
 	}
@@ -348,51 +348,32 @@ func (s *S3FIFO) promoteFromMain(q *s3queues) int {
 	return limit
 }
 
-// promoteIsolated exchanges the page into DRAM, demoting cold DRAM pages
-// first if no free frame exists.
+// promoteIsolated exchanges the page into the tier above it, demoting cold
+// pages from that tier first if no free frame exists.
 func (s *S3FIFO) promoteIsolated(pg *mem.Page) bool {
 	m := s.M
-	dst := pickVictimNode(m, mem.TierDRAM)
-	if dst == mem.NoNode {
-		s.makeRoom()
-		dst = pickVictimNode(m, mem.TierDRAM)
-		if dst == mem.NoNode {
-			return false
-		}
+	up, ok := m.Mem.Above(m.Mem.Tier(pg))
+	if !ok {
+		return false
+	}
+	dst, ok := promoteDst(m, up, s.makeRoom)
+	if !ok {
+		return false
 	}
 	return m.MigrateIsolated(pg, dst)
 }
 
-// makeRoom demotes cold pages (by the recency lists) from pressured DRAM
-// nodes to PM.
-func (s *S3FIFO) makeRoom() {
-	m := s.M
-	for _, id := range m.Mem.TierNodes(mem.TierDRAM) {
-		n := m.Mem.Nodes[id]
-		if !n.UnderHigh() {
-			continue
-		}
-		vec := m.Vecs[id]
-		need := n.WM.High - n.FreeFrames()
-		if need > s.cfg.ScanBatch {
-			need = s.cfg.ScanBatch
-		}
-		vec.BalanceActive(1, s.cfg.ScanBatch)
-		victims := vec.AppendDemoteCandidates(s.demoteBuf[:0], need)
-		for _, victim := range victims {
-			pmDst := m.Mem.PickNode(mem.TierPM)
-			if pmDst == mem.NoNode || !m.MigrateIsolated(victim, pmDst) {
-				m.SwapOut(victim)
-			}
-		}
-		s.demoteBuf = victims[:0]
-	}
+// makeRoom demotes cold pages (by the recency lists) from pressured nodes
+// of tier t one tier down.
+func (s *S3FIFO) makeRoom(t mem.Tier) {
+	s.demoteBuf = relieveTier(s.M, t, s.cfg.ScanBatch, s.demoteBuf, nil)
 }
 
-// Pressure reacts to allocation pressure on DRAM like kswapd.
+// Pressure reacts to allocation pressure on a demotion-capable tier like
+// kswapd.
 func (s *S3FIFO) Pressure(node mem.NodeID) {
-	if s.M.Mem.Nodes[node].Tier == mem.TierDRAM {
-		s.makeRoom()
+	if t := s.M.Mem.Nodes[node].Tier; demotable(s.M, t) {
+		s.makeRoom(t)
 	}
 }
 

@@ -138,7 +138,11 @@ func (th *Thermostat) HintFault(pg *mem.Page, write bool) {
 func (th *Thermostat) period() {
 	m := th.M
 
-	// Classify and migrate based on the period that just ended.
+	// Classify and migrate based on the period that just ended. Thermostat
+	// is a two-state classifier: hot regions live in the fastest tier, cold
+	// regions one tier below it.
+	fastest := m.Mem.FastestTier()
+	coldTier, _ := m.Mem.Below(fastest)
 	demoted := 0
 	for key, st := range th.regions {
 		if st.sampled == 0 {
@@ -147,14 +151,15 @@ func (th *Thermostat) period() {
 		switch {
 		case !st.demoted && st.faults <= th.cfg.ColdThreshold && demoted < th.cfg.DemoteBatch:
 			// Cold region: demote every resident page.
-			if th.migrateRegion(key, mem.TierPM) > 0 {
+			if th.migrateRegion(key, coldTier) > 0 {
 				st.demoted = true
 				th.Demotions++
 				demoted++
 			}
 		case st.demoted && st.faults > th.cfg.ColdThreshold+1:
-			// Misclassified: the "cold" region is being accessed from PM.
-			if th.migrateRegion(key, mem.TierDRAM) > 0 {
+			// Misclassified: the "cold" region is being accessed from the
+			// slow tier.
+			if th.migrateRegion(key, fastest) > 0 {
 				st.demoted = false
 				th.Promotions++
 			}
@@ -211,7 +216,7 @@ func (th *Thermostat) migrateRegion(key regionKey, t mem.Tier) int {
 		if dst == mem.NoNode {
 			return
 		}
-		if t == mem.TierDRAM && m.Mem.Nodes[dst].UnderMin() {
+		if t == m.Mem.FastestTier() && m.Mem.Nodes[dst].UnderMin() {
 			return
 		}
 		if m.MigratePage(pg, dst) {

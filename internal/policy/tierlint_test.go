@@ -1,0 +1,37 @@
+package policy
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestNoHardcodedTierConstants pins the tier-relative API migration: policy
+// sources must navigate the hierarchy through FastestTier/Above/Below and
+// friends, never by naming mem.TierDRAM or mem.TierPM directly. Test files
+// are exempt — they legitimately pin two-tier placement expectations.
+func TestNoHardcodedTierConstants(t *testing.T) {
+	banned := regexp.MustCompile(`\bmem\.Tier(DRAM|PM)\b`)
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Clean(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if banned.MatchString(line) {
+				t.Errorf("%s:%d: hardcoded tier constant in policy source: %s",
+					name, i+1, strings.TrimSpace(line))
+			}
+		}
+	}
+}

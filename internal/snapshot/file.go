@@ -30,8 +30,10 @@ import (
 // Magic identifies a snapshot file.
 const Magic = "MCSNAP"
 
-// Version is the container format version.
-const Version = 1
+// Version is the container format version. Version 2 prefixed the mem
+// section with the tier-topology header (and versioned the soak config for
+// the tier spec), so version-1 containers no longer decode.
+const Version = 2
 
 // Section names in container order.
 const (

@@ -6,6 +6,7 @@ import (
 
 	"multiclock/internal/kvstore"
 	"multiclock/internal/machine"
+	"multiclock/internal/mem"
 	"multiclock/internal/metrics"
 	"multiclock/internal/sim"
 	"multiclock/internal/snapcodec"
@@ -319,13 +320,19 @@ func finish(dec *snapcodec.Decoder, err error) error {
 }
 
 // wrapSection types a section-restore failure. Configuration and policy-
-// support mismatches keep their own types; everything else decodes under a
-// verified checksum yet fails semantic validation, which is corruption.
+// support mismatches keep their own types (a memory-topology mismatch
+// surfaces as a config mismatch naming the section); everything else
+// decodes under a verified checksum yet fails semantic validation, which is
+// corruption.
 func wrapSection(name string, err error) error {
 	var cm *ConfigMismatchError
 	var up *UnsupportedPolicyError
+	var tm *mem.TopologyMismatchError
 	if errors.As(err, &cm) || errors.As(err, &up) {
 		return err
+	}
+	if errors.As(err, &tm) {
+		return &ConfigMismatchError{Reason: fmt.Sprintf("section %q: %s", name, tm.Error())}
 	}
 	return &CorruptError{Section: name, Err: err}
 }

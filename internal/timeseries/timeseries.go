@@ -57,7 +57,7 @@ func New(m *machine.Machine, window sim.Duration, maxWindows int) *Sampler {
 		window:     window,
 		maxWindows: maxWindows,
 		start:      m.Clock.Now(),
-		base:       m.Mem.Counters,
+		base:       m.Mem.Counters.Clone(),
 	}
 	s.ev = m.Clock.Schedule(window, s.tick)
 	return s
@@ -71,7 +71,7 @@ func (s *Sampler) tick() {
 	now := s.m.Clock.Now()
 	s.close(now)
 	s.start = now
-	s.base = s.m.Mem.Counters
+	s.base = s.m.Mem.Counters.Clone()
 	s.ev = s.m.Clock.Schedule(s.window, s.tick)
 }
 
@@ -93,10 +93,8 @@ func (s *Sampler) snapshot(end sim.Time) metrics.WindowExport {
 		Start: int64(s.start),
 		End:   int64(end),
 
-		ReadsDRAM:    c.Reads[mem.TierDRAM] - s.base.Reads[mem.TierDRAM],
-		ReadsPM:      c.Reads[mem.TierPM] - s.base.Reads[mem.TierPM],
-		WritesDRAM:   c.Writes[mem.TierDRAM] - s.base.Writes[mem.TierDRAM],
-		WritesPM:     c.Writes[mem.TierPM] - s.base.Writes[mem.TierPM],
+		ReadsDRAM:    c.Reads[0] - s.base.Reads[0],
+		WritesDRAM:   c.Writes[0] - s.base.Writes[0],
 		Promotions:   c.Promotions - s.base.Promotions,
 		Demotions:    c.Demotions - s.base.Demotions,
 		MigrateFails: c.MigrateFails - s.base.MigrateFails,
@@ -104,12 +102,18 @@ func (s *Sampler) snapshot(end sim.Time) metrics.WindowExport {
 		SwapIns:      c.SwapIns - s.base.SwapIns,
 		PagesScanned: c.PagesScanned - s.base.PagesScanned,
 	}
+	// The lower-tier traffic columns aggregate every tier below the fastest
+	// (the PM tier in the default hierarchy, CXL+PM+… in deeper ones).
+	for t := 1; t < len(c.Reads); t++ {
+		w.ReadsPM += c.Reads[t] - s.base.Reads[t]
+		w.WritesPM += c.Writes[t] - s.base.Writes[t]
+	}
 	for _, n := range s.m.Mem.Nodes {
 		vec := s.m.Vecs[n.ID]
 		free := n.FreeFrames()
 		w.Nodes = append(w.Nodes, metrics.NodeSample{
 			Node:         int(n.ID),
-			Tier:         n.Tier.String(),
+			Tier:         s.m.Mem.TierName(n.Tier),
 			Free:         free,
 			LowDistance:  free - n.WM.Low,
 			AnonInactive: vec.Len(lru.InactiveAnon),

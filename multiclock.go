@@ -133,6 +133,13 @@ type Config struct {
 	// testbed shape (§V-A).
 	DRAMNodes, PMNodes []int
 
+	// Tiers optionally replaces the DRAM/PM pair with an explicit N-tier
+	// hierarchy (fastest tier first, e.g. dram over cxl over pm with a
+	// durable ssd swap tier last), overriding every sizing field above.
+	// Build one from mem.BuiltinTierSpec or parse the CLI -tiers syntax
+	// with cliutil.ParseTierSpec.
+	Tiers *TierTopology
+
 	// Policy selects the tiering system; default PolicyMultiClock.
 	Policy Policy
 
@@ -156,6 +163,13 @@ type Config struct {
 	// the simulation bit-for-bit identical to a fault-free build.
 	Chaos FaultConfig
 }
+
+// TierTopology is an ordered memory hierarchy, fastest tier first
+// (re-export of mem.Topology).
+type TierTopology = mem.Topology
+
+// TierSpec describes one tier of a TierTopology (re-export).
+type TierSpec = mem.TierSpec
 
 // FaultConfig describes a fault-injection campaign (re-export).
 type FaultConfig = fault.Config
@@ -207,6 +221,9 @@ func NewSystem(cfg Config) *System {
 	}
 	if len(cfg.PMNodes) > 0 {
 		mcfg.Mem.PMNodes = cfg.PMNodes
+	}
+	if cfg.Tiers != nil {
+		mcfg.Mem.Topology = cfg.Tiers
 	}
 	if cfg.Seed != 0 {
 		mcfg.Seed = cfg.Seed

@@ -1,68 +1,12 @@
 package main
 
-import (
-	"errors"
-	"expvar"
-	"fmt"
-	"net"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
-	"os"
-	"time"
-)
+import "expvar"
 
-// Wall-clock progress counters exported on /debug/vars. These observe the
-// host process only — the simulation itself is untouched, so enabling the
-// endpoint cannot move a single virtual-time result.
+// Wall-clock progress counters exported on /debug/vars when -http enables
+// the shared cliutil debug endpoint. These observe the host process only —
+// the simulation itself is untouched, so enabling the endpoint cannot move
+// a single virtual-time result.
 var (
 	expExperimentsDone   = expvar.NewInt("mcbench.experiments_done")
 	expExperimentsFailed = expvar.NewInt("mcbench.experiments_failed")
-	expStartUnixNano     = expvar.NewInt("mcbench.start_unix_nano")
-	// expDebugServeFailures counts post-bind serve failures of the debug
-	// endpoint itself (distinct from the silent http.ErrServerClosed of a
-	// clean end-of-run shutdown).
-	expDebugServeFailures = expvar.NewInt("mcbench.debug_serve_failures")
 )
-
-// startDebug binds the expvar/pprof endpoint on addr and serves it in the
-// background. It returns the bound address and a stop function that closes
-// the listener and waits for the serve loop to exit. A clean stop surfaces
-// no error (http.Serve returns http.ErrServerClosed); any other serve
-// failure after a successful bind is reported to stderr and counted on
-// expvar, so a mid-run endpoint death is distinguishable from end-of-run
-// shutdown.
-func startDebug(addr string) (net.Addr, func(), error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, nil, err
-	}
-	// expvar and pprof both register on http.DefaultServeMux.
-	srv := &http.Server{Handler: http.DefaultServeMux}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			expDebugServeFailures.Add(1)
-			fmt.Fprintf(os.Stderr, "mcbench: debug endpoint failed: %v\n", err)
-		}
-	}()
-	stop := func() {
-		srv.Close()
-		<-done
-	}
-	return ln.Addr(), stop, nil
-}
-
-// serveDebug is the CLI entry: failure to bind is fatal — a user who asked
-// for the endpoint should not silently profile nothing. The returned stop
-// function closes the endpoint cleanly at end-of-run.
-func serveDebug(addr string) (stop func()) {
-	expStartUnixNano.Set(time.Now().UnixNano())
-	bound, stop, err := startDebug(addr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mcbench: -http %s: %v\n", addr, err)
-		os.Exit(2)
-	}
-	fmt.Fprintf(os.Stderr, "mcbench: debug endpoint on http://%s/debug/pprof (expvar at /debug/vars)\n", bound)
-	return stop
-}

@@ -10,6 +10,10 @@
 //	mcbench -exp all -deadline 30m     # abort (exit 3) past a wall-clock budget
 //	mcbench -exp fig9 -metrics out.json -series 10ms -lifecycle 1
 //	                                   # ride time-series + lifecycle spans
+//	mcbench -exp fig5 -metrics out.json -trace-out trace.json
+//	                                   # export a Perfetto virtual-time trace
+//	mcbench -exp fig5 -metrics out.json -slo 'p99(access_latency_dram_read_ns) < 400ns over 10ms'
+//	                                   # evaluate latency SLOs + burn-rate alerts
 //	mcbench -exp all -http :6060       # expvar/pprof for wall-clock profiling
 //	mcbench -list                      # show available experiment ids
 //
@@ -31,6 +35,8 @@ import (
 	"multiclock/internal/metrics"
 	"multiclock/internal/runner"
 	"multiclock/internal/sim"
+	"multiclock/internal/slo"
+	"multiclock/internal/traceexport"
 )
 
 func main() {
@@ -46,6 +52,8 @@ func main() {
 	series := flag.Duration("series", 0, "sample a windowed occupancy time series per instrumented machine on this virtual period (0 = off; requires -metrics)")
 	lifecycleMod := flag.Uint64("lifecycle", 0, "trace per-page lifecycle spans per instrumented machine with this sampling modulus (1 = every page, 0 = off; requires -metrics)")
 	httpAddr := flag.String("http", "", "serve expvar/pprof on this address (e.g. localhost:6060) for wall-clock profiling of long runs")
+	var tf cliutil.TraceFlags
+	tf.Register(flag.CommandLine)
 	benchOut := flag.String("bench-out", "", "run the simulator perf suite and write its JSON report (pages/sec, ns/access per workload) to this file")
 	benchCompare := flag.String("bench-compare", "", "with -bench-out: compare against this baseline BENCH_*.json and exit 1 on regression")
 	benchTolerance := flag.Float64("bench-tolerance", 5, "with -bench-compare: allowed slowdown factor vs the baseline before failing")
@@ -82,11 +90,17 @@ func main() {
 			os.Exit(cliutil.ExitUsage)
 		}
 	}
-	if err := cliutil.ValidateExportFlags(*series, *lifecycleMod, *metricsOut); err != nil {
+	if err := cliutil.ValidateExportFlags(*series, *lifecycleMod, *metricsOut, tf.SLO, tf.TraceOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(cliutil.ExitUsage)
 	}
-	if err := snap.Validate(*series, *lifecycleMod); err != nil {
+	if tf.SLO != "" {
+		if _, err := slo.Parse(tf.SLO); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(cliutil.ExitUsage)
+		}
+	}
+	if err := snap.Validate(*series, *lifecycleMod, tf.SLO, tf.TraceOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(cliutil.ExitUsage)
 	}
@@ -99,6 +113,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mcbench: -soak is its own mode; drop -exp/-bench-out")
 			os.Exit(cliutil.ExitUsage)
 		}
+		if tf.SLO != "" || tf.TraceOut != "" {
+			fmt.Fprintln(os.Stderr, "mcbench: -slo/-trace-out are experiment-mode flags (soaks are checkpointable; see mcmetrics slo/perfetto for post-hoc analysis)")
+			os.Exit(cliutil.ExitUsage)
+		}
 		os.Exit(runSoak(*soak, bench.Options{Quick: *quick, Seed: *seed, Chaos: chaos, Tiers: *tiers},
 			*soakOps, snap, *metricsOut, *traceEvents))
 	}
@@ -109,7 +127,7 @@ func main() {
 		// to themselves); -quick selects the small grid.
 		stopDebug := func() {}
 		if *httpAddr != "" {
-			stopDebug = serveDebug(*httpAddr)
+			stopDebug = cliutil.ServeDebug("mcbench", *httpAddr)
 		}
 		code := runPerfSuite(bench.Options{Quick: *quick, Seed: *seed},
 			*benchOut, *benchCompare, *benchTolerance)
@@ -140,16 +158,22 @@ func main() {
 	}
 	stopDebug := func() {}
 	if *httpAddr != "" {
-		stopDebug = serveDebug(*httpAddr)
+		stopDebug = cliutil.ServeDebug("mcbench", *httpAddr)
 	}
 	opt := bench.Options{
 		Quick: *quick, Seed: *seed, Parallel: workers, Chaos: chaos,
 		Series: sim.Duration(series.Nanoseconds()), Lifecycle: *lifecycleMod,
-		Tiers: *tiers,
+		Tiers: *tiers, SLO: tf.SLO, Trace: tf.TraceOut != "",
 	}
 	var pool *metrics.Pool
 	if *metricsOut != "" {
-		pool = metrics.NewPool(*traceEvents)
+		ring := *traceEvents
+		if tf.TraceOut != "" && ring == 0 {
+			// A Perfetto export without the structured event ring would carry
+			// no migrations, daemon passes or page faults; default it on.
+			ring = cliutil.DefaultTraceRing
+		}
+		pool = metrics.NewPool(ring)
 		opt.Metrics = pool
 	}
 	names := []string{*exp}
@@ -194,6 +218,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "metrics: %d run(s) written to %s\n", pool.Len(), *metricsOut)
+		if tf.TraceOut != "" {
+			trace := traceexport.Build(pool.Runs())
+			if err := os.WriteFile(tf.TraceOut, trace, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "mcbench: writing trace: %v\n", err)
+				stopDebug()
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "trace: perfetto timeline written to %s\n", tf.TraceOut)
+		}
 	}
 	stopDebug()
 	if failed > 0 {

@@ -15,6 +15,10 @@
 //	mcmetrics timeline 2/0x1000 out.json # page in address space 2
 //	mcmetrics pingpong --top 5 out.json  # worst migration ping-pongers
 //	mcmetrics series out.json            # time-series windows as CSV
+//	mcmetrics slo out.json               # SLO compliance + burn-rate report
+//	mcmetrics perfetto -o t.json out.json# rebuild the Perfetto timeline
+//	mcmetrics trend .                    # pages/sec trajectory across the
+//	                                     # checked-in BENCH_*.json reports
 //	mcmetrics diverge a.jsonl b.jsonl    # bisect two -audit trails to the
 //	                                     # first diverging checkpoint
 package main
@@ -24,12 +28,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
+	"multiclock/internal/bench"
 	"multiclock/internal/metrics"
 	"multiclock/internal/sim"
+	"multiclock/internal/slo"
 	"multiclock/internal/snapshot"
+	"multiclock/internal/traceexport"
 )
 
 func main() {
@@ -47,6 +55,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return cmdPingpong(args[1:], stdout, stderr)
 		case "series":
 			return cmdSeries(args[1:], stdout, stderr)
+		case "slo":
+			return cmdSLO(args[1:], stdout, stderr)
+		case "perfetto":
+			return cmdPerfetto(args[1:], stdout, stderr)
+		case "trend":
+			return cmdTrend(args[1:], stdout, stderr)
 		case "diverge":
 			return cmdDiverge(args[1:], stdout, stderr)
 		}
@@ -280,6 +294,121 @@ func cmdSeries(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// cmdSLO renders the human burn-rate report for every selected run that
+// carries an slo section (mcsim/mcbench -slo ... -metrics out.json).
+func cmdSLO(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcmetrics slo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runFilter := fs.String("run", "", "restrict output to the run with this label")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: mcmetrics slo [-run label] <export.json>")
+		return 2
+	}
+	runs, _ := loadRuns(fs.Arg(0), *runFilter, stderr)
+	if runs == nil {
+		return 1
+	}
+	shown := false
+	for _, r := range runs {
+		if r.SLO == nil {
+			continue
+		}
+		shown = true
+		fmt.Fprint(stdout, slo.Format(r.Label, r.SLO))
+	}
+	if !shown {
+		fmt.Fprintln(stderr, "mcmetrics: no run in the export carries an slo section (run with -slo)")
+		return 1
+	}
+	return 0
+}
+
+// cmdPerfetto rebuilds the Perfetto/Chrome trace-event timeline from an
+// export after the fact — the same bytes mcsim/mcbench -trace-out would have
+// written for the selected runs. Open the result in ui.perfetto.dev.
+func cmdPerfetto(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcmetrics perfetto", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runFilter := fs.String("run", "", "restrict output to the run with this label")
+	out := fs.String("o", "", "write the trace to this file instead of stdout")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: mcmetrics perfetto [-run label] [-o trace.json] <export.json>")
+		return 2
+	}
+	runs, _ := loadRuns(fs.Arg(0), *runFilter, stderr)
+	if runs == nil {
+		return 1
+	}
+	trace := traceexport.Build(runs)
+	if *out == "" {
+		if _, err := stdout.Write(trace); err != nil {
+			fmt.Fprintf(stderr, "mcmetrics: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := os.WriteFile(*out, trace, 0o644); err != nil {
+		fmt.Fprintf(stderr, "mcmetrics: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "trace: perfetto timeline written to %s\n", *out)
+	return 0
+}
+
+// cmdTrend aggregates every BENCH_*.json perf report in a directory into the
+// per-workload pages/sec trajectory, oldest report first. Any file matching
+// the pattern that fails to parse is a hard error — CI runs this over the
+// repo root so a corrupt checked-in baseline can't silently drop out of the
+// perf gate.
+func cmdTrend(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcmetrics trend", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "usage: mcmetrics trend [dir]")
+		return 2
+	}
+	dir := "."
+	if fs.NArg() == 1 {
+		dir = fs.Arg(0)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		fmt.Fprintf(stderr, "mcmetrics: %v\n", err)
+		return 1
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(stderr, "mcmetrics: no BENCH_*.json reports in %s\n", dir)
+		return 1
+	}
+	entries := make([]bench.TrendEntry, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcmetrics: %v\n", err)
+			return 1
+		}
+		rep, err := bench.ParsePerf(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcmetrics: %s: %v\n", p, err)
+			return 1
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+		entries = append(entries, bench.TrendEntry{Name: name, Report: rep})
+	}
+	bench.SortTrend(entries)
+	fmt.Fprint(stdout, bench.FormatTrend(entries))
+	return 0
+}
+
 // cmdDiverge bisects two audit trails (the JSONL files mcsim/mcbench write
 // under -audit) to the first checkpoint where any subsystem hash differs —
 // turning "two runs that should match don't" into the op, virtual time and
@@ -359,16 +488,16 @@ func summarize(stdout io.Writer, r metrics.RunExport, maxEvents int) {
 	}
 	if len(r.Histograms) > 0 {
 		fmt.Fprintln(stdout, "histograms:")
-		fmt.Fprintf(stdout, "  %-28s %10s %14s %12s %12s %12s\n", "name", "n", "mean", "~p50", "~p99", "max")
+		fmt.Fprintf(stdout, "  %-28s %10s %14s %12s %12s %12s %12s\n", "name", "n", "mean", "p50", "p99", "p999", "max")
 		for _, h := range r.Histograms {
 			mean := int64(0)
 			if h.N > 0 {
 				mean = h.Sum / h.N
 			}
-			fmt.Fprintf(stdout, "  %-28s %10d %14d %12d %12d %12d\n",
-				h.Name, h.N, mean, quantile(h, 0.5), quantile(h, 0.99), h.Max)
+			fmt.Fprintf(stdout, "  %-28s %10d %14d %12d %12d %12d %12d\n",
+				h.Name, h.N, mean, h.P50, h.P99, h.P999, h.Max)
 		}
-		fmt.Fprintln(stdout, "  (quantiles are log2-bucket upper bounds: exact within 2x)")
+		fmt.Fprintln(stdout, "  (quantiles interpolate within log2 buckets, clamped to [min, max])")
 	}
 	if len(r.Vmstat) > 0 {
 		fmt.Fprintln(stdout, "vmstat:")
@@ -383,6 +512,18 @@ func summarize(stdout io.Writer, r metrics.RunExport, maxEvents int) {
 	if l := r.Lifecycle; l != nil {
 		fmt.Fprintf(stdout, "lifecycle: %d traced page(s), sample_mod=%d (see `mcmetrics timeline`, `mcmetrics pingpong`)\n",
 			len(l.Pages), l.SampleMod)
+	}
+	if se := r.SLO; se != nil {
+		met := 0
+		for _, o := range se.Objectives {
+			if o.Met {
+				met++
+			}
+		}
+		fmt.Fprintf(stdout, "slo: %d/%d objective(s) met (see `mcmetrics slo`)\n", met, len(se.Objectives))
+	}
+	if f := r.Faults; f != nil {
+		fmt.Fprintf(stdout, "faults: %d injected window(s), %d dropped\n", len(f.Windows), f.Dropped)
 	}
 	if t := r.Trace; t != nil {
 		fmt.Fprintf(stdout, "trace: %d events (capacity %d, %d dropped)\n", len(t.Events), t.Capacity, t.Dropped)
@@ -406,27 +547,4 @@ func summarize(stdout io.Writer, r metrics.RunExport, maxEvents int) {
 			fmt.Fprintln(stdout)
 		}
 	}
-}
-
-// quantile re-estimates a quantile from exported buckets (the in-memory
-// Histogram.Quantile over the wire format).
-func quantile(h metrics.HistExport, q float64) int64 {
-	if h.N == 0 {
-		return 0
-	}
-	rank := int64(q * float64(h.N))
-	if rank >= h.N {
-		rank = h.N - 1
-	}
-	var seen int64
-	for _, b := range h.Buckets {
-		seen += b.Count
-		if seen > rank {
-			if b.LE > h.Max {
-				return h.Max
-			}
-			return b.LE
-		}
-	}
-	return h.Max
 }

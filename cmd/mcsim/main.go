@@ -10,6 +10,8 @@
 //	mcsim -policy multiclock -workload A -chaos 42,0.01
 //	mcsim -policy multiclock -workload A -metrics out.json -trace-events 128
 //	mcsim -policy multiclock -workload A -metrics out.json -series 10ms -lifecycle 1
+//	mcsim -policy multiclock -workload A -metrics out.json -trace-out trace.json
+//	mcsim -policy multiclock -workload A -metrics out.json -slo 'p99(access_latency_dram_read_ns) < 400ns over 10ms'
 //
 // With a comma-separated policy list every policy gets its own machine;
 // -parallel N fans them out across goroutines. Each machine is an
@@ -54,6 +56,8 @@ type config struct {
 	traceEvents int
 	series      multiclock.Duration
 	lifecycle   uint64
+	slo         string
+	trace       bool
 	label       string
 }
 
@@ -80,6 +84,9 @@ func main() {
 	traceEvents := flag.Int("trace-events", 0, "structured trace ring capacity in the metrics export (0 = no event trace)")
 	series := flag.Duration("series", 0, "sample a windowed occupancy time series on this virtual period into the metrics export (0 = off)")
 	lifecycleMod := flag.Uint64("lifecycle", 0, "trace per-page lifecycle spans with this sampling modulus (1 = every page, 0 = off) into the metrics export")
+	httpAddr := flag.String("http", "", "serve expvar/pprof on this address (e.g. localhost:6060) for wall-clock profiling of long runs")
+	var tf cliutil.TraceFlags
+	tf.Register(flag.CommandLine)
 	var snap cliutil.SnapshotFlags
 	snap.Register(flag.CommandLine)
 	flag.Parse()
@@ -95,13 +102,25 @@ func main() {
 			os.Exit(cliutil.ExitUsage)
 		}
 	}
-	if err := cliutil.ValidateExportFlags(*series, *lifecycleMod, *metricsOut); err != nil {
+	if err := cliutil.ValidateExportFlags(*series, *lifecycleMod, *metricsOut, tf.SLO, tf.TraceOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(cliutil.ExitUsage)
 	}
-	if err := snap.Validate(*series, *lifecycleMod); err != nil {
+	if tf.SLO != "" {
+		if _, err := multiclock.ParseSLOSpec(tf.SLO); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(cliutil.ExitUsage)
+		}
+	}
+	if err := snap.Validate(*series, *lifecycleMod, tf.SLO, tf.TraceOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(cliutil.ExitUsage)
+	}
+	ring := *traceEvents
+	if tf.TraceOut != "" && ring == 0 {
+		// A Perfetto export without the structured event ring would carry no
+		// migrations, daemon passes or page faults; default it on.
+		ring = cliutil.DefaultTraceRing
 	}
 
 	scan := multiclock.Duration(100 * 1e6)
@@ -140,6 +159,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mcsim: checkpointing supports YCSB workloads only (no -gapbs/-record/-replay)")
 			os.Exit(cliutil.ExitUsage)
 		}
+		if tf.SLO != "" || tf.TraceOut != "" {
+			// snap.Validate catches the checkpointing combinations; this
+			// covers the -invariants-every-only stepping mode.
+			fmt.Fprintln(os.Stderr, "mcsim: -slo/-trace-out are not supported in checkpoint/invariant-stepping mode")
+			os.Exit(cliutil.ExitUsage)
+		}
 		cfg := config{
 			policy: policies[0], workload: *workload, sequence: *sequence,
 			records: *records, ops: *ops, dram: *dram, pm: *pm, tiers: *tiers,
@@ -170,8 +195,9 @@ func main() {
 			records: *records, ops: *ops, vertices: *vertices, degree: *degree,
 			record: *record, replay: *replay, replayFast: *replayFast,
 			dram: *dram, pm: *pm, tiers: *tiers, scan: scan, seed: *seed, chaos: chaos,
-			metrics: *metricsOut != "", traceEvents: *traceEvents,
+			metrics: *metricsOut != "", traceEvents: ring,
 			series: multiclock.Duration(series.Nanoseconds()), lifecycle: *lifecycleMod,
+			slo: tf.SLO, trace: tf.TraceOut != "",
 			label: label,
 		}
 		slot := &metricsRuns[i]
@@ -186,6 +212,10 @@ func main() {
 	var progress io.Writer
 	if len(policies) > 1 {
 		progress = os.Stderr
+	}
+	stopDebug := func() {}
+	if *httpAddr != "" {
+		stopDebug = cliutil.ServeDebug("mcsim", *httpAddr)
 	}
 	failed := 0
 	runner.Stream(workers, progress, tasks, func(_ int, r runner.TaskResult[string]) {
@@ -211,10 +241,21 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcsim: writing metrics: %v\n", err)
+			stopDebug()
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "metrics: %d run(s) written to %s\n", len(runs), *metricsOut)
+		if tf.TraceOut != "" {
+			trace := multiclock.ExportPerfettoJSON(runs...)
+			if err := os.WriteFile(tf.TraceOut, trace, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "mcsim: writing trace: %v\n", err)
+				stopDebug()
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "trace: perfetto timeline written to %s\n", tf.TraceOut)
+		}
 	}
+	stopDebug()
 	if failed > 0 {
 		os.Exit(1)
 	}
@@ -246,6 +287,7 @@ func runOne(w io.Writer, cfg config) (*multiclock.MetricsRun, error) {
 	var collector *multiclock.Metrics
 	var sampler *multiclock.SeriesSampler
 	var tracer *multiclock.LifecycleTracer
+	var sloEng *multiclock.SLOEngine
 	if cfg.metrics {
 		collector = sys.EnableMetrics(cfg.traceEvents)
 		if cfg.series > 0 {
@@ -253,6 +295,15 @@ func runOne(w io.Writer, cfg config) (*multiclock.MetricsRun, error) {
 		}
 		if cfg.lifecycle > 0 {
 			tracer = sys.EnableLifecycle(multiclock.LifecycleConfig{SampleMod: cfg.lifecycle})
+		}
+		if cfg.slo != "" {
+			var err error
+			if sloEng, err = sys.EnableSLO(cfg.slo); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.trace {
+			sys.EnableTraceRecording()
 		}
 	}
 
@@ -320,6 +371,12 @@ func runOne(w io.Writer, cfg config) (*multiclock.MetricsRun, error) {
 		}
 		if tracer != nil {
 			run.Lifecycle = tracer.Export()
+		}
+		if sloEng != nil {
+			run.SLO = sloEng.Export()
+		}
+		if cfg.trace {
+			sys.AttachTraceSections(&run)
 		}
 		return &run, nil
 	}

@@ -29,6 +29,7 @@ import (
 	"multiclock/internal/metrics"
 	"multiclock/internal/policy"
 	"multiclock/internal/sim"
+	"multiclock/internal/slo"
 	"multiclock/internal/timeseries"
 )
 
@@ -75,6 +76,16 @@ type Options struct {
 	// build. Callers validate the spec up front; machineFor panics on a bad
 	// one.
 	Tiers string
+	// SLO, when non-empty, evaluates the declarative latency objectives it
+	// describes (slo.Parse syntax) on every instrumented machine's virtual
+	// clock; the results ride the run's metrics export. Callers validate the
+	// spec up front; instrument panics on a bad one. Requires Metrics.
+	SLO string
+	// Trace, when set, additionally records what only the Perfetto trace
+	// export consumes: the machine's node→tier topology and the injected
+	// fault-injection window log. Both ride the run's metrics export as
+	// extra sections. Requires Metrics.
+	Trace bool
 }
 
 // workers resolves Parallel for runner.Map.
@@ -183,10 +194,12 @@ type scale struct {
 	// must be set for a cell to instrument itself.
 	Metrics       *metrics.Pool
 	MetricsPrefix string
-	// Series and Lifecycle thread the observability knobs through to each
-	// instrumented cell (see Options).
+	// Series, Lifecycle, SLO and Trace thread the observability knobs
+	// through to each instrumented cell (see Options).
 	Series    sim.Duration
 	Lifecycle uint64
+	SLO       string
+	Trace     bool
 	// Tiers is the Options tier spec, applied by machineFor.
 	Tiers string
 }
@@ -212,6 +225,23 @@ func (sc scale) instrument(m *machine.Machine, label string) {
 		tr := lifecycle.New(lifecycle.Config{SampleMod: sc.Lifecycle}).Bind(m)
 		sc.Metrics.Decorate(full, func(r *metrics.RunExport) { r.Lifecycle = tr.Export() })
 	}
+	if sc.SLO != "" {
+		sp, err := slo.Parse(sc.SLO)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		eng := slo.New(m.Clock, c.Registry(), sp, 0)
+		sc.Metrics.Decorate(full, func(r *metrics.RunExport) { r.SLO = eng.Export() })
+	}
+	if sc.Trace {
+		// Tier labels and injected-fault windows only matter to the trace
+		// renderer, so they record (and change export bytes) only on request.
+		m.Faults.EnableWindowLog(0)
+		sc.Metrics.Decorate(full, func(r *metrics.RunExport) {
+			r.Topology = metrics.TopologyOf(m)
+			r.Faults = metrics.FaultsOf(m)
+		})
+	}
 }
 
 func (o Options) scale() scale {
@@ -220,6 +250,8 @@ func (o Options) scale() scale {
 	sc.Metrics = o.Metrics
 	sc.Series = o.Series
 	sc.Lifecycle = o.Lifecycle
+	sc.SLO = o.SLO
+	sc.Trace = o.Trace
 	sc.Tiers = o.Tiers
 	return sc
 }

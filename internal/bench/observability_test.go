@@ -5,8 +5,10 @@ import (
 	"strings"
 	"testing"
 
+	"multiclock/internal/fault"
 	"multiclock/internal/metrics"
 	"multiclock/internal/sim"
+	"multiclock/internal/traceexport"
 )
 
 // runFig10Observed runs the quick Fig. 10 sweep with the full observability
@@ -74,6 +76,93 @@ func TestObservabilityDoesNotMoveTheReport(t *testing.T) {
 	observed, _ := runFig10Observed(t, 4)
 	if plain != observed {
 		t.Fatal("enabling observability changed the fig10 report")
+	}
+}
+
+// runFig10ChaosTraced runs the quick Fig. 10 sweep under fault injection
+// with the whole trace/SLO stack on and returns (perfetto trace, export
+// JSON).
+func runFig10ChaosTraced(t *testing.T, parallel int) ([]byte, []byte) {
+	t.Helper()
+	pool := metrics.NewPool(65536)
+	Fig10(Options{
+		Quick: true, Seed: 1, Parallel: parallel,
+		Chaos:     fault.UniformRate(42, 0.05),
+		Metrics:   pool,
+		Series:    10 * sim.Millisecond,
+		Lifecycle: 64,
+		// Deliberately unmeetable: every PM read exceeds 1ns, so the
+		// burn rate pegs and the multi-window alert must fire.
+		SLO:   "p99(access_latency_pm_read_ns) < 1ns over 1ms, 99.9%",
+		Trace: true,
+	})
+	data, err := pool.ExportJSON()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return traceexport.Build(pool.Runs()), data
+}
+
+// TestChaosTimelineGolden is the PR's acceptance fixture: a chaos run's
+// exported virtual-time timeline visibly contains per-page lifecycle spans,
+// daemon wakeup passes, migrations with tier labels, injected-fault windows
+// and at least one SLO burn-rate alert — and both the trace and the export
+// are byte-identical across parallelism levels.
+func TestChaosTimelineGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	trace, data := runFig10ChaosTraced(t, 1)
+	trace4, data4 := runFig10ChaosTraced(t, 4)
+	if !bytes.Equal(trace, trace4) {
+		t.Fatal("perfetto trace differs across parallelism")
+	}
+	if !bytes.Equal(data, data4) {
+		t.Fatal("metrics export differs across parallelism with slo/trace on")
+	}
+	s := string(trace)
+	for _, want := range []string{
+		`"thread_name","args":{"name":"daemon `, // daemon track metadata
+		` pass"`,                                // a daemon wakeup pass span
+		`"thread_name","args":{"name":"page `,   // lifecycle page track
+		`"name":"promote"`,                      // a migration instant...
+		`"to_tier":"dram"`,                      // ...labeled with its tier
+		`"name":"injected faults"`,              // injected-fault track
+		`"name":"burn-rate alert"`,              // the SLO alert span
+		`"name":"slo p99(access_latency_pm_read_ns) < 1ns over 1ms, 99.9%"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("timeline missing %q", want)
+		}
+	}
+	// At least one injected degradation window made it onto tid 210.
+	if !strings.Contains(s, `"tid":210,"ts"`) {
+		t.Fatal("no injected-fault window rendered")
+	}
+
+	// The export's slo section reconciles with the timeline: the objective
+	// is violated and carries the alert the trace shows.
+	ex, err := metrics.ReadExport(data)
+	if err != nil {
+		t.Fatalf("export does not validate: %v", err)
+	}
+	alerts := 0
+	for _, r := range ex.Runs {
+		if r.SLO == nil {
+			t.Fatalf("run %s missing slo section", r.Label)
+		}
+		for _, o := range r.SLO.Objectives {
+			if o.Met {
+				t.Fatalf("run %s: unmeetable objective reported met", r.Label)
+			}
+			alerts += len(o.Alerts)
+		}
+		if r.Faults == nil || len(r.Faults.Windows) == 0 {
+			t.Fatalf("run %s recorded no injected-fault windows", r.Label)
+		}
+	}
+	if alerts == 0 {
+		t.Fatal("no burn-rate alert fired anywhere in the sweep")
 	}
 }
 

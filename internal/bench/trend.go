@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TrendEntry is one checked-in perf report in the repository's trajectory:
+// the short name derived from its filename (BENCH_pr9.json → "pr9") plus the
+// parsed report.
+type TrendEntry struct {
+	Name   string
+	Report PerfReport
+}
+
+// trendRank orders report names chronologically: "baseline" first, then prN
+// by number, then anything else alphabetically after. Returns a major rank
+// and the PR number (meaningful only for the pr bucket).
+func trendRank(name string) (int, int) {
+	if name == "baseline" {
+		return 0, 0
+	}
+	if n, err := strconv.Atoi(strings.TrimPrefix(name, "pr")); err == nil && strings.HasPrefix(name, "pr") {
+		return 1, n
+	}
+	return 2, 0
+}
+
+// SortTrend orders entries oldest→newest (baseline, pr1, pr2, ...; unknown
+// names last, alphabetically).
+func SortTrend(entries []TrendEntry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		mi, ni := trendRank(entries[i].Name)
+		mj, nj := trendRank(entries[j].Name)
+		if mi != mj {
+			return mi < mj
+		}
+		if ni != nj {
+			return ni < nj
+		}
+		return entries[i].Name < entries[j].Name
+	})
+}
+
+// FormatTrend renders the per-workload pages/sec trajectory across the
+// entries (assumed already sorted oldest→newest): one row per workload, one
+// column per report, each later column annotated with its delta against the
+// previous report that measured the workload. Reports at a different scale
+// than the first are flagged in the header — their deltas compare different
+// work and are suppressed.
+func FormatTrend(entries []TrendEntry) string {
+	var b strings.Builder
+	if len(entries) == 0 {
+		return "no perf reports\n"
+	}
+	refQuick := entries[0].Report.Quick
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+		if e.Report.Quick != refQuick {
+			if e.Report.Quick {
+				names[i] += "[quick]"
+			} else {
+				names[i] += "[full]"
+			}
+		}
+	}
+	mode := "full"
+	if refQuick {
+		mode = "quick"
+	}
+	fmt.Fprintf(&b, "perf trajectory (%s scale) — pages/sec per report, %% vs previous\n", mode)
+
+	// Workload rows in first-appearance order across the trajectory.
+	var workloads []string
+	seen := map[string]bool{}
+	for _, e := range entries {
+		for _, w := range e.Report.Workloads {
+			if !seen[w.Workload] {
+				seen[w.Workload] = true
+				workloads = append(workloads, w.Workload)
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "%-12s", "workload")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %22s", n)
+	}
+	b.WriteString("\n")
+	for _, wl := range workloads {
+		fmt.Fprintf(&b, "%-12s", wl)
+		prev := 0.0
+		prevComparable := false
+		for _, e := range entries {
+			var cur *PerfResult
+			for i := range e.Report.Workloads {
+				if e.Report.Workloads[i].Workload == wl {
+					cur = &e.Report.Workloads[i]
+					break
+				}
+			}
+			if cur == nil {
+				fmt.Fprintf(&b, " %22s", "-")
+				continue
+			}
+			cell := fmt.Sprintf("%.0f", cur.PagesPerSec)
+			comparable := e.Report.Quick == refQuick
+			if prevComparable && comparable && prev > 0 {
+				cell += fmt.Sprintf(" (%+.1f%%)", 100*(cur.PagesPerSec-prev)/prev)
+			}
+			fmt.Fprintf(&b, " %22s", cell)
+			if comparable {
+				prev, prevComparable = cur.PagesPerSec, true
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func trendEntry(name string, quick bool, pps float64) TrendEntry {
+	return TrendEntry{Name: name, Report: PerfReport{
+		Schema: PerfSchema, Quick: quick,
+		Workloads: []PerfResult{{Workload: "ycsb-a", Ops: 1, Accesses: 1, WallNS: 1, VirtualNS: 1, PagesPerSec: pps, NsPerAccess: 1}},
+	}}
+}
+
+func TestSortTrendOrdering(t *testing.T) {
+	entries := []TrendEntry{
+		trendEntry("pr10", true, 1),
+		trendEntry("nightly", true, 1),
+		trendEntry("pr2", true, 1),
+		trendEntry("baseline", true, 1),
+		trendEntry("pr9", true, 1),
+	}
+	SortTrend(entries)
+	var got []string
+	for _, e := range entries {
+		got = append(got, e.Name)
+	}
+	want := []string{"baseline", "pr2", "pr9", "pr10", "nightly"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFormatTrendMixedScale(t *testing.T) {
+	// A full-scale report in a quick trajectory is flagged and its numbers
+	// are excluded from the delta chain: pr3's delta compares against pr1,
+	// not against the full-scale pr2.
+	entries := []TrendEntry{
+		trendEntry("pr1", true, 1000),
+		trendEntry("pr2", false, 9999),
+		trendEntry("pr3", true, 1100),
+	}
+	out := FormatTrend(entries)
+	if !strings.Contains(out, "pr2[full]") {
+		t.Fatalf("full-scale report not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "1100 (+10.0%)") {
+		t.Fatalf("delta should skip the incomparable report:\n%s", out)
+	}
+	if strings.Contains(out, "9999 (") {
+		t.Fatalf("incomparable report must not carry a delta:\n%s", out)
+	}
+}
+
+func TestFormatTrendEmpty(t *testing.T) {
+	if out := FormatTrend(nil); !strings.Contains(out, "no perf reports") {
+		t.Fatalf("empty trajectory: %q", out)
+	}
+}

@@ -1,0 +1,71 @@
+package cliutil
+
+import (
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"time"
+)
+
+// Wall-clock debug-endpoint counters exported on /debug/vars. These observe
+// the host process only — the simulation itself is untouched, so enabling
+// the endpoint cannot move a single virtual-time result.
+var (
+	debugStartUnixNano = expvar.NewInt("debug.start_unix_nano")
+	// debugServeFailures counts post-bind serve failures of the debug
+	// endpoint itself (distinct from the silent http.ErrServerClosed of a
+	// clean end-of-run shutdown).
+	debugServeFailures = expvar.NewInt("debug.serve_failures")
+)
+
+// DebugServeFailures reports the post-bind serve-failure count (tests pin
+// that a clean stop is not counted as one).
+func DebugServeFailures() int64 { return debugServeFailures.Value() }
+
+// StartDebug binds the expvar/pprof endpoint on addr and serves it in the
+// background. It returns the bound address and a stop function that closes
+// the listener and waits for the serve loop to exit. A clean stop surfaces
+// no error (http.Serve returns http.ErrServerClosed); any other serve
+// failure after a successful bind is reported to stderr and counted on
+// expvar, so a mid-run endpoint death is distinguishable from end-of-run
+// shutdown.
+func StartDebug(addr string) (net.Addr, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	// expvar and pprof both register on http.DefaultServeMux.
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			debugServeFailures.Add(1)
+			fmt.Fprintf(os.Stderr, "debug endpoint failed: %v\n", err)
+		}
+	}()
+	stop := func() {
+		srv.Close()
+		<-done
+	}
+	return ln.Addr(), stop, nil
+}
+
+// ServeDebug is the CLI entry shared by mcsim and mcbench: failure to bind
+// is fatal — a user who asked for the endpoint should not silently profile
+// nothing. prog prefixes the messages. The returned stop function closes
+// the endpoint cleanly at end-of-run.
+func ServeDebug(prog, addr string) (stop func()) {
+	debugStartUnixNano.Set(time.Now().UnixNano())
+	bound, stop, err := StartDebug(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: -http %s: %v\n", prog, addr, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "%s: debug endpoint on http://%s/debug/pprof (expvar at /debug/vars)\n", prog, bound)
+	return stop
+}

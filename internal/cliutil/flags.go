@@ -13,20 +13,42 @@ import (
 // combination.
 const ExitUsage = 2
 
-// errExportFlags is the canonical message for requesting the series or
-// lifecycle instrumentation without a metrics export to carry it. The CLIs
-// print it verbatim (no program-name prefix) so scripts can match one
-// string across binaries.
-var errExportFlags = errors.New("-series/-lifecycle ride the metrics export; set -metrics too")
+// DefaultTraceRing is the structured-event ring capacity a CLI defaults to
+// when -trace-out is requested without an explicit -trace-events: a Perfetto
+// export without the event ring would carry no migrations, daemon passes or
+// page faults.
+const DefaultTraceRing = 65536
 
-// ValidateExportFlags checks the -series/-lifecycle/-metrics combination.
-// Both instrumentation flags only surface through the metrics JSON export,
-// so either without -metrics is a usage error.
-func ValidateExportFlags(series time.Duration, lifecycleMod uint64, metricsOut string) error {
-	if (series > 0 || lifecycleMod > 0) && metricsOut == "" {
+// errExportFlags is the canonical message for requesting instrumentation
+// without a metrics export to carry it. The CLIs print it verbatim (no
+// program-name prefix) so scripts can match one string across binaries.
+var errExportFlags = errors.New("-series/-lifecycle/-slo/-trace-out ride the metrics export; set -metrics too")
+
+// ValidateExportFlags checks the -series/-lifecycle/-slo/-trace-out/-metrics
+// combination. The instrumentation flags only surface through (or render
+// from) the metrics export, so any of them without -metrics is a usage
+// error. The SLO spec itself is validated separately (slo.Parse); here only
+// its presence matters.
+func ValidateExportFlags(series time.Duration, lifecycleMod uint64, metricsOut, sloSpec, traceOut string) error {
+	if (series > 0 || lifecycleMod > 0 || sloSpec != "" || traceOut != "") && metricsOut == "" {
 		return errExportFlags
 	}
 	return nil
+}
+
+// TraceFlags holds the SLO/trace-export flag pair shared by mcsim and
+// mcbench: a declarative latency-objective spec evaluated on the virtual
+// clock, and a Perfetto trace file merging every recorded signal onto one
+// virtual-time timeline.
+type TraceFlags struct {
+	SLO      string
+	TraceOut string
+}
+
+// Register installs the shared flag pair on fs under the canonical names.
+func (f *TraceFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.SLO, "slo", "", "evaluate latency objectives on the virtual clock, e.g. 'p99(access_latency_dram_read_ns) < 400ns over 10ms, 99.9%'; results ride the -metrics export (see `mcmetrics slo`)")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Perfetto/Chrome trace of the run's virtual-time timeline to this file (open in ui.perfetto.dev; requires -metrics)")
 }
 
 // SnapshotFlags holds the checkpoint/restore flag set shared by mcsim and
@@ -57,9 +79,11 @@ func (f *SnapshotFlags) Active() bool {
 
 // Validate checks the flag set's internal consistency and its interaction
 // with the unserializable observability layers. Checkpoints capture the
-// virtual clock, and one-shot -series/-lifecycle samplers schedule closures
-// that cannot be serialized, so the combination is refused up front.
-func (f *SnapshotFlags) Validate(series time.Duration, lifecycleMod uint64) error {
+// virtual clock, and one-shot -series/-lifecycle samplers (and the -slo
+// engine's scheduled window ticks, and the -trace-out window log) schedule
+// or accumulate state that cannot be serialized, so the combinations are
+// refused up front.
+func (f *SnapshotFlags) Validate(series time.Duration, lifecycleMod uint64, sloSpec, traceOut string) error {
 	if f.SnapshotEvery < 0 {
 		return errors.New("-snapshot-every must be non-negative")
 	}
@@ -72,8 +96,8 @@ func (f *SnapshotFlags) Validate(series time.Duration, lifecycleMod uint64) erro
 	if (f.Snapshot != "" || f.Audit != "") && f.SnapshotEvery <= 0 {
 		return errors.New("-snapshot/-audit need -snapshot-every N to set the checkpoint cadence")
 	}
-	if f.Active() && (series > 0 || lifecycleMod > 0) {
-		return errors.New("-series/-lifecycle cannot be combined with checkpointing: one-shot samplers are not serializable")
+	if f.Active() && (series > 0 || lifecycleMod > 0 || sloSpec != "" || traceOut != "") {
+		return errors.New("-series/-lifecycle/-slo/-trace-out cannot be combined with checkpointing: one-shot samplers are not serializable")
 	}
 	return nil
 }

@@ -15,18 +15,24 @@ func TestValidateExportFlags(t *testing.T) {
 		series    time.Duration
 		lifecycle uint64
 		metrics   string
+		slo       string
+		traceOut  string
 		wantErr   bool
 	}{
-		{"nothing", 0, 0, "", false},
-		{"metrics only", 0, 0, "out.json", false},
-		{"series with metrics", 10 * time.Millisecond, 0, "out.json", false},
-		{"lifecycle with metrics", 0, 1, "out.json", false},
-		{"series without metrics", 10 * time.Millisecond, 0, "", true},
-		{"lifecycle without metrics", 0, 1, "", true},
-		{"both without metrics", 10 * time.Millisecond, 1, "", true},
+		{"nothing", 0, 0, "", "", "", false},
+		{"metrics only", 0, 0, "out.json", "", "", false},
+		{"series with metrics", 10 * time.Millisecond, 0, "out.json", "", "", false},
+		{"lifecycle with metrics", 0, 1, "out.json", "", "", false},
+		{"slo with metrics", 0, 0, "out.json", "p99(x_ns) < 1us over 1ms", "", false},
+		{"trace-out with metrics", 0, 0, "out.json", "", "t.json", false},
+		{"series without metrics", 10 * time.Millisecond, 0, "", "", "", true},
+		{"lifecycle without metrics", 0, 1, "", "", "", true},
+		{"both without metrics", 10 * time.Millisecond, 1, "", "", "", true},
+		{"slo without metrics", 0, 0, "", "p99(x_ns) < 1us over 1ms", "", true},
+		{"trace-out without metrics", 0, 0, "", "", "t.json", true},
 	}
 	for _, c := range cases {
-		err := ValidateExportFlags(c.series, c.lifecycle, c.metrics)
+		err := ValidateExportFlags(c.series, c.lifecycle, c.metrics, c.slo, c.traceOut)
 		if (err != nil) != c.wantErr {
 			t.Errorf("%s: got err=%v, want error=%v", c.name, err, c.wantErr)
 		}
@@ -39,24 +45,29 @@ func TestSnapshotFlagsValidate(t *testing.T) {
 		f         SnapshotFlags
 		series    time.Duration
 		lifecycle uint64
+		slo       string
+		traceOut  string
 		wantErr   bool
 	}{
-		{"nothing", SnapshotFlags{}, 0, 0, false},
-		{"snapshot with cadence", SnapshotFlags{Snapshot: "s.mcsnap", SnapshotEvery: 5000}, 0, 0, false},
-		{"audit with cadence", SnapshotFlags{Audit: "a.jsonl", SnapshotEvery: 5000}, 0, 0, false},
-		{"restore alone", SnapshotFlags{Restore: "s.mcsnap"}, 0, 0, false},
-		{"invariants alone", SnapshotFlags{InvariantsEvery: 1000}, 0, 0, false},
-		{"invariants with series", SnapshotFlags{InvariantsEvery: 1000}, 10 * time.Millisecond, 0, false},
-		{"negative cadence", SnapshotFlags{SnapshotEvery: -1}, 0, 0, true},
-		{"negative invariants", SnapshotFlags{InvariantsEvery: -1}, 0, 0, true},
-		{"cadence without sink", SnapshotFlags{SnapshotEvery: 5000}, 0, 0, true},
-		{"snapshot without cadence", SnapshotFlags{Snapshot: "s.mcsnap"}, 0, 0, true},
-		{"audit without cadence", SnapshotFlags{Audit: "a.jsonl"}, 0, 0, true},
-		{"snapshot with series", SnapshotFlags{Snapshot: "s.mcsnap", SnapshotEvery: 5000}, 10 * time.Millisecond, 0, true},
-		{"restore with lifecycle", SnapshotFlags{Restore: "s.mcsnap"}, 0, 1, true},
+		{"nothing", SnapshotFlags{}, 0, 0, "", "", false},
+		{"snapshot with cadence", SnapshotFlags{Snapshot: "s.mcsnap", SnapshotEvery: 5000}, 0, 0, "", "", false},
+		{"audit with cadence", SnapshotFlags{Audit: "a.jsonl", SnapshotEvery: 5000}, 0, 0, "", "", false},
+		{"restore alone", SnapshotFlags{Restore: "s.mcsnap"}, 0, 0, "", "", false},
+		{"invariants alone", SnapshotFlags{InvariantsEvery: 1000}, 0, 0, "", "", false},
+		{"invariants with series", SnapshotFlags{InvariantsEvery: 1000}, 10 * time.Millisecond, 0, "", "", false},
+		{"invariants with slo", SnapshotFlags{InvariantsEvery: 1000}, 0, 0, "p99(x_ns) < 1us over 1ms", "", false},
+		{"negative cadence", SnapshotFlags{SnapshotEvery: -1}, 0, 0, "", "", true},
+		{"negative invariants", SnapshotFlags{InvariantsEvery: -1}, 0, 0, "", "", true},
+		{"cadence without sink", SnapshotFlags{SnapshotEvery: 5000}, 0, 0, "", "", true},
+		{"snapshot without cadence", SnapshotFlags{Snapshot: "s.mcsnap"}, 0, 0, "", "", true},
+		{"audit without cadence", SnapshotFlags{Audit: "a.jsonl"}, 0, 0, "", "", true},
+		{"snapshot with series", SnapshotFlags{Snapshot: "s.mcsnap", SnapshotEvery: 5000}, 10 * time.Millisecond, 0, "", "", true},
+		{"restore with lifecycle", SnapshotFlags{Restore: "s.mcsnap"}, 0, 1, "", "", true},
+		{"restore with slo", SnapshotFlags{Restore: "s.mcsnap"}, 0, 0, "p99(x_ns) < 1us over 1ms", "", true},
+		{"snapshot with trace-out", SnapshotFlags{Snapshot: "s.mcsnap", SnapshotEvery: 5000}, 0, 0, "", "t.json", true},
 	}
 	for _, c := range cases {
-		err := c.f.Validate(c.series, c.lifecycle)
+		err := c.f.Validate(c.series, c.lifecycle, c.slo, c.traceOut)
 		if (err != nil) != c.wantErr {
 			t.Errorf("%s: got err=%v, want error=%v", c.name, err, c.wantErr)
 		}
@@ -126,6 +137,11 @@ func TestCLIsFailIdentically(t *testing.T) {
 		{"-series", "10ms"},
 		{"-lifecycle", "1"},
 		{"-series", "10ms", "-lifecycle", "1"},
+		{"-slo", "p99(access_latency_dram_read_ns) < 400ns over 10ms"},
+		{"-trace-out", "t.json"},
+		// A malformed objective spec fails through the shared parser once
+		// -metrics is present, so that message is identical too.
+		{"-metrics", "m.json", "-slo", "p99(x < 400ns over 10ms"},
 		// Bad -tiers specs fail through the shared parser, so the message
 		// (tier set, frame-count complaint, duplicate) is also identical.
 		{"-tiers", "hbm:64"},

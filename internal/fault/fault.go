@@ -171,6 +171,68 @@ type Injector struct {
 
 	slowUntil  sim.Time // end of the active PM slowdown window, if any
 	stormUntil sim.Time // end of the active allocation storm, if any
+
+	// Opt-in window log (EnableWindowLog): every opened degradation window,
+	// for trace export. Off by default so metrics-only runs carry no extra
+	// state; recording is passive either way (never advances the clock or
+	// perturbs the RNG stream).
+	logMax         int
+	windows        []Window
+	windowsDropped int64
+}
+
+// Window is one logged degradation interval: between Start and End (virtual
+// time, end exclusive) the injector applied Kind to every opportunity.
+type Window struct {
+	Kind  Kind
+	Start sim.Time
+	End   sim.Time
+}
+
+// DefaultWindowLogCap bounds the window log when EnableWindowLog is given a
+// non-positive cap.
+const DefaultWindowLogCap = 4096
+
+// EnableWindowLog turns on degradation-window recording, keeping at most max
+// windows (DefaultWindowLogCap when max <= 0); later windows are dropped and
+// counted. Nil-safe no-op.
+func (f *Injector) EnableWindowLog(max int) {
+	if f == nil {
+		return
+	}
+	if max <= 0 {
+		max = DefaultWindowLogCap
+	}
+	f.logMax = max
+}
+
+// Windows returns the logged degradation windows in open order (nil when
+// logging is off or nothing opened).
+func (f *Injector) Windows() []Window {
+	if f == nil {
+		return nil
+	}
+	return f.windows
+}
+
+// WindowsDropped reports how many windows the log's cap discarded.
+func (f *Injector) WindowsDropped() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.windowsDropped
+}
+
+// logWindow appends one opened window when logging is enabled.
+func (f *Injector) logWindow(k Kind, start, end sim.Time) {
+	if f.logMax == 0 {
+		return
+	}
+	if len(f.windows) >= f.logMax {
+		f.windowsDropped++
+		return
+	}
+	f.windows = append(f.windows, Window{Kind: k, Start: start, End: end})
 }
 
 // New builds an injector on the given virtual clock. The RNG stream is
@@ -232,6 +294,7 @@ func (f *Injector) AllocDenied(nearWatermark bool) bool {
 	}
 	if f.roll(AllocStorm) {
 		f.stormUntil = now + sim.Time(f.cfg.StormWindow)
+		f.logWindow(AllocStorm, now, f.stormUntil)
 		return true
 	}
 	return false
@@ -249,7 +312,9 @@ func (f *Injector) AccessDelay(pm bool, base sim.Duration) sim.Duration {
 		if !f.roll(PMSlowdown) {
 			return 0
 		}
-		f.slowUntil = f.clock.Now() + sim.Time(f.cfg.PMSlowdownWindow)
+		now := f.clock.Now()
+		f.slowUntil = now + sim.Time(f.cfg.PMSlowdownWindow)
+		f.logWindow(PMSlowdown, now, f.slowUntil)
 	}
 	return sim.Duration(float64(base) * (f.cfg.PMSlowdownFactor - 1))
 }

@@ -173,3 +173,73 @@ func TestCountersString(t *testing.T) {
 		t.Fatalf("report %q", s)
 	}
 }
+
+func TestWindowLogRecordsOpens(t *testing.T) {
+	clock := sim.NewClock()
+	cfg := Config{Seed: 11}
+	cfg.Rates[PMSlowdown] = 1.0
+	cfg.Rates[AllocStorm] = 1.0
+	cfg.PMSlowdownWindow = 1 * sim.Millisecond
+	cfg.StormWindow = 2 * sim.Millisecond
+	f := New(clock, cfg)
+	f.EnableWindowLog(0) // default cap
+
+	// Logging off until enabled; nil injector is safe.
+	var nilInj *Injector
+	nilInj.EnableWindowLog(10)
+	if nilInj.Windows() != nil || nilInj.WindowsDropped() != 0 {
+		t.Fatal("nil injector logged windows")
+	}
+
+	f.AccessDelay(true, 300) // opens a PM slowdown at t=0
+	clock.Advance(100 * sim.Microsecond)
+	f.AccessDelay(true, 300) // inside the window: no new entry
+	f.AllocDenied(true)      // opens a storm at t=100µs
+	clock.Advance(5 * sim.Millisecond)
+	f.AccessDelay(true, 300) // reopens at t=5.1ms
+
+	ws := f.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("logged %d windows, want 3: %v", len(ws), ws)
+	}
+	want := []Window{
+		{PMSlowdown, 0, sim.Time(1 * sim.Millisecond)},
+		{AllocStorm, sim.Time(100 * sim.Microsecond), sim.Time(100*sim.Microsecond) + sim.Time(2*sim.Millisecond)},
+		{PMSlowdown, sim.Time(5100 * sim.Microsecond), sim.Time(5100*sim.Microsecond) + sim.Time(1*sim.Millisecond)},
+	}
+	for i, w := range ws {
+		if w != want[i] {
+			t.Fatalf("window %d = %+v, want %+v", i, w, want[i])
+		}
+	}
+	if f.WindowsDropped() != 0 {
+		t.Fatalf("dropped = %d", f.WindowsDropped())
+	}
+}
+
+func TestWindowLogCapDropsAndCounts(t *testing.T) {
+	clock := sim.NewClock()
+	cfg := Config{Seed: 13}
+	cfg.Rates[PMSlowdown] = 1.0
+	cfg.PMSlowdownWindow = 1 * sim.Microsecond
+	f := New(clock, cfg)
+	f.EnableWindowLog(2)
+	for i := 0; i < 5; i++ {
+		f.AccessDelay(true, 300)
+		clock.Advance(10 * sim.Microsecond)
+	}
+	if len(f.Windows()) != 2 || f.WindowsDropped() != 3 {
+		t.Fatalf("windows=%d dropped=%d, want 2/3", len(f.Windows()), f.WindowsDropped())
+	}
+}
+
+func TestWindowLogOffIsFree(t *testing.T) {
+	clock := sim.NewClock()
+	cfg := Config{Seed: 17}
+	cfg.Rates[PMSlowdown] = 1.0
+	f := New(clock, cfg)
+	f.AccessDelay(true, 300)
+	if f.Windows() != nil || f.WindowsDropped() != 0 {
+		t.Fatal("disabled window log recorded state")
+	}
+}

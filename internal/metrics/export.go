@@ -41,6 +41,16 @@ type RunExport struct {
 	// Lifecycle is the per-page span section (internal/lifecycle); omitted
 	// when span tracing was disabled.
 	Lifecycle *LifecycleExport `json:"lifecycle,omitempty"`
+	// Topology names the machine's memory nodes and their tiers; only
+	// populated when a consumer needs node→tier resolution (the Perfetto
+	// trace exporter), so pre-existing exports are byte-unchanged.
+	Topology []NodeTier `json:"topology,omitempty"`
+	// Faults is the injected-fault window log (internal/fault); omitted
+	// unless window logging was enabled for trace export.
+	Faults *FaultsExport `json:"faults,omitempty"`
+	// SLO is the service-level-objective evaluation section (internal/slo);
+	// omitted when no SLO spec was given.
+	SLO *SLOExport `json:"slo,omitempty"`
 }
 
 // NamedValue is one counter.
@@ -63,13 +73,19 @@ type Bucket struct {
 	Count int64 `json:"count"`
 }
 
-// HistExport is one histogram.
+// HistExport is one histogram. P50/P99/P999 are within-bucket linearly
+// interpolated quantile estimates (Histogram.Quantile); the bucket list
+// remains the exact record, so consumers preferring the old conservative
+// upper-bound estimate can still derive it.
 type HistExport struct {
 	Name    string   `json:"name"`
 	N       int64    `json:"n"`
 	Sum     int64    `json:"sum"`
 	Min     int64    `json:"min"`
 	Max     int64    `json:"max"`
+	P50     int64    `json:"p50"`
+	P99     int64    `json:"p99"`
+	P999    int64    `json:"p999"`
 	Buckets []Bucket `json:"buckets"`
 }
 
@@ -114,7 +130,10 @@ func (c *Collector) Run(label string) RunExport {
 	}
 	for _, name := range sortedNames(r.hists) {
 		h := r.hists[name]
-		he := HistExport{Name: name, N: h.n, Sum: h.sum, Min: h.min, Max: h.max}
+		he := HistExport{
+			Name: name, N: h.n, Sum: h.sum, Min: h.min, Max: h.max,
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99), P999: h.Quantile(0.999),
+		}
 		for k, cnt := range h.counts {
 			if cnt > 0 {
 				he.Buckets = append(he.Buckets, Bucket{LE: bucketUpper(k), Count: cnt})
@@ -277,6 +296,13 @@ func (run *RunExport) validate() error {
 		if h.N > 0 && (h.Min > h.Max || h.Sum < h.Min) {
 			return fmt.Errorf("histogram %q: inconsistent min/max/sum", h.Name)
 		}
+		if h.N > 0 {
+			if h.P50 < h.Min || h.P50 > h.P99 || h.P99 > h.P999 || h.P999 > h.Max {
+				return fmt.Errorf("histogram %q: quantiles not ordered within [min, max]", h.Name)
+			}
+		} else if h.P50 != 0 || h.P99 != 0 || h.P999 != 0 {
+			return fmt.Errorf("histogram %q: nonzero quantiles with no samples", h.Name)
+		}
 	}
 	for _, name := range requiredHistograms {
 		if !have[name] {
@@ -308,6 +334,24 @@ func (run *RunExport) validate() error {
 	}
 	if l := run.Lifecycle; l != nil {
 		if err := l.validate(); err != nil {
+			return err
+		}
+	}
+	for i, n := range run.Topology {
+		if i > 0 && run.Topology[i-1].Node >= n.Node {
+			return fmt.Errorf("topology not sorted by unique node id at %d", i)
+		}
+		if n.Tier == "" {
+			return fmt.Errorf("topology node %d missing tier", n.Node)
+		}
+	}
+	if f := run.Faults; f != nil {
+		if err := f.validate(); err != nil {
+			return err
+		}
+	}
+	if s := run.SLO; s != nil {
+		if err := s.validate(); err != nil {
 			return err
 		}
 	}

@@ -184,9 +184,39 @@ func bucketUpper(k int) int64 {
 	return (int64(1) << k) - 1
 }
 
-// Quantile estimates the q-th quantile (0–1) from the buckets, taking each
-// bucket's upper bound (a conservative over-estimate within one power of
-// two). Returns 0 with no samples.
+// bucketLower returns the inclusive lower bound of bucket k.
+func bucketLower(k int) int64 {
+	if k <= 0 {
+		return 0
+	}
+	return int64(1) << (k - 1)
+}
+
+// BucketBounds returns the inclusive [lower, upper] value range of exported
+// bucket upper-bound le (the wire-format key): the log2 bucket whose upper
+// bound is le. Consumers that re-derive within-bucket statistics from an
+// export (the SLO engine, quantile re-estimation) share this one mapping.
+func BucketBounds(le int64) (lo, hi int64) {
+	if le <= 0 {
+		return 0, 0
+	}
+	return le/2 + 1, le
+}
+
+// Counts returns a copy of the per-bucket sample counts, indexed by log2
+// bucket (bucketUpper gives each index's upper bound). The SLO engine diffs
+// successive snapshots to recover per-window distributions.
+func (h *Histogram) Counts() [65]int64 { return h.counts }
+
+// BucketRange returns the inclusive [lower, upper] value range of bucket k,
+// the index into Counts.
+func BucketRange(k int) (lo, hi int64) { return bucketLower(k), bucketUpper(k) }
+
+// Quantile estimates the q-th quantile (0–1) from the buckets with linear
+// interpolation inside the covering bucket (samples assumed uniform within
+// a bucket's value range), clamped to the observed [min, max]. Returns 0
+// with no samples. The estimate is never below the bucket's lower bound nor
+// above its upper bound, so the error is bounded by the bucket width.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h.n == 0 {
 		return 0
@@ -201,16 +231,41 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if rank >= h.n {
 		rank = h.n - 1
 	}
+	// The extreme order statistics are tracked exactly; return them rather
+	// than interpolating (so Quantile(0) == min and Quantile(1) == max).
+	if rank <= 0 {
+		return h.min
+	}
+	if rank >= h.n-1 {
+		return h.max
+	}
 	var seen int64
 	for k, c := range h.counts {
-		seen += c
-		if c > 0 && seen > rank {
-			u := bucketUpper(k)
-			if u > h.max {
-				u = h.max
-			}
-			return u
+		if c == 0 {
+			continue
 		}
+		if seen+c > rank {
+			v := interpolate(bucketLower(k), bucketUpper(k), rank-seen, c)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		seen += c
 	}
 	return h.max
+}
+
+// interpolate places the pos-th of c samples (0-based) uniformly on the
+// inclusive value range [lo, hi]: sample pos sits at the midpoint of its
+// 1/c slice of the range. All-integer, so equal inputs give equal outputs
+// on every platform.
+func interpolate(lo, hi, pos, c int64) int64 {
+	if c <= 1 || hi <= lo {
+		return lo + (hi-lo)/2
+	}
+	return lo + ((hi-lo)*(2*pos+1))/(2*c)
 }

@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"fmt"
+
+	"multiclock/internal/machine"
+)
+
+// This file defines the export sections added by the SLO/trace layer: the
+// machine's node→tier topology (so trace renderers can label migration
+// tracks), the injected-fault window log, and the SLO evaluation results.
+// As with the lifecycle/series sections, the wire types live here so schema
+// validation stays in one package; producers import metrics, never the
+// reverse.
+
+// NodeTier names one memory node's tier.
+type NodeTier struct {
+	Node int    `json:"node"`
+	Tier string `json:"tier"`
+}
+
+// TopologyOf renders a machine's node→tier mapping as the topology section,
+// sorted by node id (node ids are allocated in tier order, so this is also
+// fastest-tier-first).
+func TopologyOf(m *machine.Machine) []NodeTier {
+	out := make([]NodeTier, len(m.Mem.Nodes))
+	for i, n := range m.Mem.Nodes {
+		out[i] = NodeTier{Node: int(n.ID), Tier: m.Mem.Top.Tiers[n.Tier].Name}
+	}
+	return out
+}
+
+// FaultWindowExport is one injected degradation interval: between StartNS
+// and EndNS (virtual nanoseconds, end exclusive) the injector applied the
+// named fault mode (pm_slowdown, alloc_storm).
+type FaultWindowExport struct {
+	Kind    string `json:"kind"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns"`
+}
+
+// FaultsExport is the injected-fault window section of a run. Dropped
+// counts windows discarded after the log's cap was reached.
+type FaultsExport struct {
+	Dropped int64               `json:"dropped,omitempty"`
+	Windows []FaultWindowExport `json:"windows"`
+}
+
+// FaultsOf renders a machine's injected-fault window log as the faults
+// section. Nil when the machine has no injector or recorded nothing, so
+// fault-free runs carry no section at all.
+func FaultsOf(m *machine.Machine) *FaultsExport {
+	if m.Faults == nil {
+		return nil
+	}
+	ws := m.Faults.Windows()
+	dropped := m.Faults.WindowsDropped()
+	if len(ws) == 0 && dropped == 0 {
+		return nil
+	}
+	out := &FaultsExport{Dropped: dropped, Windows: make([]FaultWindowExport, len(ws))}
+	for i, w := range ws {
+		out.Windows[i] = FaultWindowExport{
+			Kind: string(w.Kind), StartNS: int64(w.Start), EndNS: int64(w.End),
+		}
+	}
+	return out
+}
+
+// validate checks the faults section: named, non-inverted windows in
+// start-time order.
+func (fe *FaultsExport) validate() error {
+	if fe.Dropped < 0 {
+		return fmt.Errorf("faults: negative dropped count")
+	}
+	prev := int64(-1)
+	for i, w := range fe.Windows {
+		if w.Kind == "" {
+			return fmt.Errorf("faults: window %d has no kind", i)
+		}
+		if w.StartNS < 0 || w.EndNS <= w.StartNS {
+			return fmt.Errorf("faults: window %d is empty or inverted (%d..%d)", i, w.StartNS, w.EndNS)
+		}
+		if w.StartNS < prev {
+			return fmt.Errorf("faults: windows out of start-time order at %d", i)
+		}
+		prev = w.StartNS
+	}
+	return nil
+}
+
+// SLOAlertExport is one burn-rate alert interval: the objective's fast and
+// slow burn rates both sat at or above the firing threshold for Windows
+// consecutive evaluation windows spanning [StartNS, EndNS).
+type SLOAlertExport struct {
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	Windows int   `json:"windows"`
+	// Peak burn rates over the interval, in thousandths of the error budget
+	// per budget-period (1000 = burning exactly the budget).
+	PeakFastBurnMilli int64 `json:"peak_fast_burn_milli"`
+	PeakSlowBurnMilli int64 `json:"peak_slow_burn_milli"`
+}
+
+// SLOObjectiveExport is one objective's evaluation: the parsed definition,
+// the windowed compliance tally, the whole-run error-budget burn, and the
+// alert timeline.
+type SLOObjectiveExport struct {
+	// Name is the objective as written in the spec (its canonical form).
+	Name string `json:"name"`
+	// Metric is the target histogram; QuantilePPM the quantile in parts per
+	// million (990000 = p99); ThresholdNS the latency bound; WindowNS the
+	// evaluation window; TargetPPM the required fraction of compliant
+	// windows (999000 = 99.9%).
+	Metric             string `json:"metric"`
+	QuantilePPM        int64  `json:"quantile_ppm"`
+	ThresholdNS        int64  `json:"threshold_ns"`
+	WindowNS           int64  `json:"window_ns"`
+	TargetPPM          int64  `json:"target_ppm"`
+	BurnThresholdMilli int64  `json:"burn_threshold_milli"`
+	// Windows is the number of evaluation windows (including the trailing
+	// partial one); CompliantWindows how many met the quantile bound.
+	Windows          int `json:"windows"`
+	CompliantWindows int `json:"compliant_windows"`
+	// TotalEvents/BadEvents tally the target metric's samples over the run
+	// and how many (interpolated within buckets) exceeded the threshold.
+	TotalEvents int64 `json:"total_events"`
+	BadEvents   int64 `json:"bad_events"`
+	// CompliancePPM is CompliantWindows/Windows in parts per million;
+	// BudgetBurnMilli the whole-run error-budget consumption in thousandths
+	// (1000 = the budget exactly spent). Met reports CompliancePPM ≥
+	// TargetPPM.
+	CompliancePPM   int64 `json:"compliance_ppm"`
+	BudgetBurnMilli int64 `json:"budget_burn_milli"`
+	Met             bool  `json:"met"`
+	// Alerts are the merged burn-rate alert intervals, oldest first.
+	Alerts []SLOAlertExport `json:"alerts,omitempty"`
+}
+
+// SLOExport is the SLO evaluation section of a run.
+type SLOExport struct {
+	// Spec is the canonical form of the objective spec the engine parsed.
+	Spec       string               `json:"spec"`
+	Objectives []SLOObjectiveExport `json:"objectives"`
+}
+
+// validate checks the slo section: a non-empty spec, well-formed objective
+// definitions, tallies that reconcile, and time-ordered non-overlapping
+// alert intervals.
+func (se *SLOExport) validate() error {
+	if se.Spec == "" {
+		return fmt.Errorf("slo: empty spec")
+	}
+	if len(se.Objectives) == 0 {
+		return fmt.Errorf("slo: no objectives")
+	}
+	for i, o := range se.Objectives {
+		if o.Name == "" || o.Metric == "" {
+			return fmt.Errorf("slo: objective %d missing name or metric", i)
+		}
+		if o.QuantilePPM <= 0 || o.QuantilePPM >= 1_000_000 {
+			return fmt.Errorf("slo: objective %q: quantile_ppm %d outside (0, 1e6)", o.Name, o.QuantilePPM)
+		}
+		if o.ThresholdNS <= 0 || o.WindowNS <= 0 {
+			return fmt.Errorf("slo: objective %q: non-positive threshold or window", o.Name)
+		}
+		if o.TargetPPM <= 0 || o.TargetPPM > 1_000_000 {
+			return fmt.Errorf("slo: objective %q: target_ppm %d outside (0, 1e6]", o.Name, o.TargetPPM)
+		}
+		if o.BurnThresholdMilli <= 0 {
+			return fmt.Errorf("slo: objective %q: non-positive burn threshold", o.Name)
+		}
+		if o.Windows < 0 || o.CompliantWindows < 0 || o.CompliantWindows > o.Windows {
+			return fmt.Errorf("slo: objective %q: compliant windows %d outside [0, %d]",
+				o.Name, o.CompliantWindows, o.Windows)
+		}
+		if o.TotalEvents < 0 || o.BadEvents < 0 || o.BadEvents > o.TotalEvents {
+			return fmt.Errorf("slo: objective %q: bad events %d outside [0, %d]",
+				o.Name, o.BadEvents, o.TotalEvents)
+		}
+		if o.CompliancePPM < 0 || o.CompliancePPM > 1_000_000 {
+			return fmt.Errorf("slo: objective %q: compliance_ppm %d outside [0, 1e6]", o.Name, o.CompliancePPM)
+		}
+		if o.BudgetBurnMilli < 0 {
+			return fmt.Errorf("slo: objective %q: negative budget burn", o.Name)
+		}
+		prevEnd := int64(-1)
+		for j, a := range o.Alerts {
+			if a.StartNS < 0 || a.EndNS <= a.StartNS {
+				return fmt.Errorf("slo: objective %q: alert %d is empty or inverted (%d..%d)",
+					o.Name, j, a.StartNS, a.EndNS)
+			}
+			if a.StartNS < prevEnd {
+				return fmt.Errorf("slo: objective %q: alerts overlap at %d", o.Name, j)
+			}
+			prevEnd = a.EndNS
+			if a.Windows < 1 {
+				return fmt.Errorf("slo: objective %q: alert %d spans no windows", o.Name, j)
+			}
+			if a.PeakFastBurnMilli < o.BurnThresholdMilli || a.PeakSlowBurnMilli < o.BurnThresholdMilli {
+				return fmt.Errorf("slo: objective %q: alert %d peaks below the firing threshold", o.Name, j)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateSLOSections checks the SLO-layer sections in isolation (either may
+// be nil); the producers' tests use it the way lifecycle/timeseries use
+// ValidateSections.
+func ValidateSLOSections(se *SLOExport, fe *FaultsExport) error {
+	if se != nil {
+		if err := se.validate(); err != nil {
+			return err
+		}
+	}
+	if fe != nil {
+		if err := fe.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

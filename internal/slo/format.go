@@ -1,0 +1,47 @@
+package slo
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"multiclock/internal/metrics"
+)
+
+// Format renders one run's slo section as the human report behind
+// `mcmetrics slo`: per-objective compliance, whole-run error-budget burn,
+// and the alert timeline. All values derive from the section's integers, so
+// equal sections render equal bytes.
+func Format(label string, se *metrics.SLOExport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n  spec: %s\n", label, se.Spec)
+	for _, o := range se.Objectives {
+		verdict := "MET"
+		if !o.Met {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "  %s: %s\n", o.Name, verdict)
+		fmt.Fprintf(&b, "    windows: %d/%d compliant (%s%%, target %s%%)\n",
+			o.CompliantWindows, o.Windows,
+			formatPPMPercent(o.CompliancePPM), formatPPMPercent(o.TargetPPM))
+		fmt.Fprintf(&b, "    events: %d/%d over threshold; budget burn %s\n",
+			o.BadEvents, o.TotalEvents, formatBurn(o.BudgetBurnMilli))
+		if len(o.Alerts) == 0 {
+			fmt.Fprintf(&b, "    alerts: none\n")
+			continue
+		}
+		fmt.Fprintf(&b, "    alerts (%d, burn >= %s fast+slow):\n",
+			len(o.Alerts), formatBurn(o.BurnThresholdMilli))
+		for _, a := range o.Alerts {
+			fmt.Fprintf(&b, "      [%s, %s) %d windows, peak fast %s slow %s\n",
+				time.Duration(a.StartNS), time.Duration(a.EndNS), a.Windows,
+				formatBurn(a.PeakFastBurnMilli), formatBurn(a.PeakSlowBurnMilli))
+		}
+	}
+	return b.String()
+}
+
+// formatBurn renders a milli burn rate as a multiplier ("6.25x").
+func formatBurn(milli int64) string {
+	return fmt.Sprintf("%d.%02dx", milli/1000, (milli%1000)/10)
+}

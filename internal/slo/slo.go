@@ -1,0 +1,384 @@
+// Package slo is the virtual-time service-level-objective engine: it parses
+// declarative latency objectives ("p99(access_latency_dram_read_ns) < 400ns
+// over 10ms, 99.9%"), evaluates them deterministically over fixed windows of
+// the simulated timeline, and produces Google-SRE-style multi-window
+// multi-burn-rate alerts plus a whole-run compliance verdict.
+//
+// Like the timeseries sampler, evaluation is purely observational: each
+// objective re-arms itself with plain clock.Schedule calls (not a
+// sim.Daemon), so an SLO-instrumented run's simulated timeline is identical
+// to an uninstrumented one. At every window boundary the engine diffs the
+// target histogram's cumulative log2 bucket counts, recovering the window's
+// sample distribution without keeping samples; the fraction of the window's
+// samples above the threshold ("bad events", within-bucket linearly
+// interpolated) drives both the window's compliance verdict and the burn
+// rates. All arithmetic is integer (parts-per-million fractions, milli burn
+// rates), so equal runs export equal bytes.
+package slo
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"multiclock/internal/metrics"
+	"multiclock/internal/sim"
+)
+
+// Defaults for the spec's optional clauses and the engine's bounds.
+const (
+	// DefaultTargetPPM is the windowed-compliance target when the spec
+	// omits a percentage: 99.9% of windows must meet the quantile bound.
+	DefaultTargetPPM = 999_000
+	// DefaultBurnThresholdMilli is the burn-rate firing threshold: 6× the
+	// error budget (the SRE workbook's fast-burn page threshold).
+	DefaultBurnThresholdMilli = 6000
+	// FastWindows and SlowWindows are the two burn-rate lookbacks, in
+	// evaluation windows; an alert fires only while both burn at or above
+	// the threshold.
+	FastWindows = 1
+	SlowWindows = 6
+	// DefaultMaxWindows bounds each objective's recorded windows.
+	DefaultMaxWindows = 1 << 16
+)
+
+// Objective is one parsed latency objective.
+type Objective struct {
+	// Metric is the target histogram's registry name.
+	Metric string
+	// QuantilePPM is the bounded quantile in parts per million (990000 =
+	// p99); ThresholdNS the latency bound; WindowNS the evaluation window.
+	QuantilePPM int64
+	ThresholdNS int64
+	WindowNS    int64
+	// TargetPPM is the required fraction of compliant windows.
+	TargetPPM int64
+	// BurnThresholdMilli is the burn-rate firing threshold in thousandths.
+	BurnThresholdMilli int64
+}
+
+// Name returns the objective's canonical spec text.
+func (o Objective) Name() string {
+	return fmt.Sprintf("p%s(%s) < %s over %s, %s%%",
+		formatPPMPercent(o.QuantilePPM), o.Metric,
+		time.Duration(o.ThresholdNS), time.Duration(o.WindowNS),
+		formatPPMPercent(o.TargetPPM))
+}
+
+// formatPPMPercent renders a parts-per-million fraction as a percentage with
+// trailing zeros trimmed (990000 → "99", 999000 → "99.9").
+func formatPPMPercent(ppm int64) string {
+	s := strconv.FormatFloat(float64(ppm)/10_000, 'f', -1, 64)
+	return s
+}
+
+// Spec is a parsed objective list.
+type Spec struct {
+	Objectives []Objective
+}
+
+// String returns the canonical spec text: objectives joined by "; ".
+func (sp *Spec) String() string {
+	names := make([]string, len(sp.Objectives))
+	for i, o := range sp.Objectives {
+		names[i] = o.Name()
+	}
+	return strings.Join(names, "; ")
+}
+
+// objectiveRE matches one objective clause:
+//
+//	p<quantile>(<metric>) < <duration> over <window>[, <pct>%]
+var objectiveRE = regexp.MustCompile(
+	`^p([0-9]+(?:\.[0-9]+)?)\(([a-z0-9_]+)\)\s*<\s*(\S+)\s+over\s+(\S+?)(?:\s*,\s*([0-9]+(?:\.[0-9]+)?)%)?$`)
+
+// Parse parses a ';'-separated objective spec. The empty string is an
+// error: callers gate on the flag being set.
+func Parse(s string) (*Spec, error) {
+	sp := &Spec{}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		o, err := parseObjective(clause)
+		if err != nil {
+			return nil, err
+		}
+		sp.Objectives = append(sp.Objectives, o)
+	}
+	if len(sp.Objectives) == 0 {
+		return nil, fmt.Errorf("slo: empty spec (want e.g. %q)",
+			"p99(access_latency_dram_read_ns) < 400ns over 10ms, 99.9%")
+	}
+	return sp, nil
+}
+
+func parseObjective(clause string) (Objective, error) {
+	m := objectiveRE.FindStringSubmatch(clause)
+	if m == nil {
+		return Objective{}, fmt.Errorf("slo: cannot parse objective %q (want %q)",
+			clause, "pNN(metric) < 400ns over 10ms[, 99.9%]")
+	}
+	o := Objective{Metric: m[2], TargetPPM: DefaultTargetPPM, BurnThresholdMilli: DefaultBurnThresholdMilli}
+	var err error
+	if o.QuantilePPM, err = parsePercentPPM(m[1]); err != nil || o.QuantilePPM <= 0 || o.QuantilePPM >= 1_000_000 {
+		return Objective{}, fmt.Errorf("slo: objective %q: quantile p%s outside (0, 100)", clause, m[1])
+	}
+	if o.ThresholdNS, err = parseDurationNS(m[3]); err != nil || o.ThresholdNS <= 0 {
+		return Objective{}, fmt.Errorf("slo: objective %q: bad threshold %q", clause, m[3])
+	}
+	if o.WindowNS, err = parseDurationNS(m[4]); err != nil || o.WindowNS <= 0 {
+		return Objective{}, fmt.Errorf("slo: objective %q: bad window %q", clause, m[4])
+	}
+	if m[5] != "" {
+		if o.TargetPPM, err = parsePercentPPM(m[5]); err != nil || o.TargetPPM <= 0 || o.TargetPPM > 1_000_000 {
+			return Objective{}, fmt.Errorf("slo: objective %q: compliance target %s%% outside (0, 100]", clause, m[5])
+		}
+	}
+	return o, nil
+}
+
+// parsePercentPPM converts a percentage literal to parts per million.
+func parsePercentPPM(s string) (int64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	return int64(math.Round(f * 10_000)), nil
+}
+
+// parseDurationNS parses a Go duration literal to nanoseconds.
+func parseDurationNS(s string) (int64, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return int64(d), nil
+}
+
+// window is one closed evaluation window's tally.
+type window struct {
+	start, end sim.Time
+	total, bad int64
+}
+
+// evaluator tracks one objective against one registry histogram.
+type evaluator struct {
+	obj        Objective
+	hist       *metrics.Histogram
+	maxWindows int
+
+	start sim.Time
+	base  [65]int64
+
+	windows []window
+	dropped int64
+	ev      *sim.Event
+}
+
+// Engine evaluates a Spec over one machine's registry on its virtual clock.
+type Engine struct {
+	spec  *Spec
+	clock *sim.Clock
+	evals []*evaluator
+}
+
+// New starts evaluating spec against reg's histograms on clock (the target
+// instruments are get-or-create, so the engine may start before producers
+// record anything). maxWindows <= 0 takes DefaultMaxWindows. Call Stop
+// before draining the clock if evaluation should end earlier.
+func New(clock *sim.Clock, reg *metrics.Registry, spec *Spec, maxWindows int) *Engine {
+	if maxWindows <= 0 {
+		maxWindows = DefaultMaxWindows
+	}
+	e := &Engine{spec: spec, clock: clock}
+	for _, o := range spec.Objectives {
+		ev := &evaluator{
+			obj:        o,
+			hist:       reg.Histogram(o.Metric),
+			maxWindows: maxWindows,
+			start:      clock.Now(),
+		}
+		ev.base = ev.hist.Counts()
+		e.evals = append(e.evals, ev)
+		e.arm(ev)
+	}
+	return e
+}
+
+// arm schedules ev's next window boundary.
+func (e *Engine) arm(ev *evaluator) {
+	ev.ev = e.clock.Schedule(sim.Duration(ev.obj.WindowNS), func() {
+		ev.close(e.clock.Now())
+		ev.start = e.clock.Now()
+		ev.base = ev.hist.Counts()
+		e.arm(ev)
+	})
+}
+
+// Stop cancels every pending boundary event; a stopped engine can never
+// advance virtual time (Drain skips cancelled events).
+func (e *Engine) Stop() {
+	for _, ev := range e.evals {
+		ev.ev.Cancel()
+	}
+}
+
+// close records the window [ev.start, end) from the histogram's growth since
+// the window opened.
+func (ev *evaluator) close(end sim.Time) {
+	if len(ev.windows) >= ev.maxWindows {
+		ev.dropped++
+		return
+	}
+	ev.windows = append(ev.windows, ev.tally(end))
+}
+
+// tally builds the window record for [ev.start, end) without mutating the
+// evaluator.
+func (ev *evaluator) tally(end sim.Time) window {
+	w := window{start: ev.start, end: end}
+	cur := ev.hist.Counts()
+	for k := range cur {
+		delta := cur[k] - ev.base[k]
+		if delta <= 0 {
+			continue
+		}
+		w.total += delta
+		w.bad += badInBucket(k, delta, ev.obj.ThresholdNS)
+	}
+	return w
+}
+
+// badInBucket estimates how many of delta samples in bucket k exceed
+// threshold t, assuming samples uniform on the bucket's value range (the
+// same assumption Histogram.Quantile interpolates under).
+func badInBucket(k int, delta, t int64) int64 {
+	lo, hi := metrics.BucketRange(k)
+	switch {
+	case lo > t:
+		return delta
+	case hi <= t:
+		return 0
+	default:
+		// Values in (t, hi] are bad: that is hi-t of the hi-lo+1 equally
+		// likely values.
+		return delta * (hi - t) / (hi - lo + 1)
+	}
+}
+
+// compliant reports whether the window meets the objective: the bad-event
+// fraction within the error budget 1 - quantile. Empty windows are
+// vacuously compliant.
+func (w window) compliant(o Objective) bool {
+	if w.total == 0 {
+		return true
+	}
+	budgetPPM := 1_000_000 - o.QuantilePPM
+	return w.bad*1_000_000 <= w.total*budgetPPM
+}
+
+// burnMilli returns the burn rate of the aggregate (bad, total) against the
+// objective's error budget, in thousandths (1000 = burning the budget
+// exactly). Empty aggregates burn nothing.
+func burnMilli(bad, total int64, o Objective) int64 {
+	if total == 0 {
+		return 0
+	}
+	budgetPPM := 1_000_000 - o.QuantilePPM
+	return bad * 1_000_000_000 / (total * budgetPPM)
+}
+
+// Export renders the evaluation as the wire-format slo section, synthesizing
+// a trailing partial window up to the current virtual instant when time has
+// passed since the last boundary. Export does not mutate the engine and may
+// be called repeatedly.
+func (e *Engine) Export() *metrics.SLOExport {
+	out := &metrics.SLOExport{Spec: e.spec.String()}
+	for _, ev := range e.evals {
+		out.Objectives = append(out.Objectives, ev.export(e.clock.Now()))
+	}
+	return out
+}
+
+func (ev *evaluator) export(now sim.Time) metrics.SLOObjectiveExport {
+	o := ev.obj
+	windows := ev.windows
+	if now > ev.start && len(windows) < ev.maxWindows {
+		// Synthesize the trailing partial window (same contract as the
+		// timeseries sampler's Export).
+		windows = append(append([]window(nil), windows...), ev.tally(now))
+	}
+	oe := metrics.SLOObjectiveExport{
+		Name:               o.Name(),
+		Metric:             o.Metric,
+		QuantilePPM:        o.QuantilePPM,
+		ThresholdNS:        o.ThresholdNS,
+		WindowNS:           o.WindowNS,
+		TargetPPM:          o.TargetPPM,
+		BurnThresholdMilli: o.BurnThresholdMilli,
+		Windows:            len(windows),
+	}
+
+	// Per-window verdicts and the run totals.
+	for _, w := range windows {
+		if w.compliant(o) {
+			oe.CompliantWindows++
+		}
+		oe.TotalEvents += w.total
+		oe.BadEvents += w.bad
+	}
+	if oe.Windows > 0 {
+		oe.CompliancePPM = int64(oe.CompliantWindows) * 1_000_000 / int64(oe.Windows)
+	} else {
+		oe.CompliancePPM = 1_000_000
+	}
+	oe.BudgetBurnMilli = burnMilli(oe.BadEvents, oe.TotalEvents, o)
+	oe.Met = oe.CompliancePPM >= o.TargetPPM
+
+	// Multi-window burn-rate alerting: at each window boundary compute the
+	// fast (trailing FastWindows) and slow (trailing SlowWindows) burn
+	// rates; the alert condition holds while both are at or above the
+	// threshold, and consecutive firing windows merge into one interval.
+	var cur *metrics.SLOAlertExport
+	for i := range windows {
+		fast := trailingBurn(windows, i, FastWindows, o)
+		slow := trailingBurn(windows, i, SlowWindows, o)
+		if fast >= o.BurnThresholdMilli && slow >= o.BurnThresholdMilli {
+			w := windows[i]
+			if cur != nil && cur.EndNS == int64(w.start) {
+				cur.EndNS = int64(w.end)
+				cur.Windows++
+				if fast > cur.PeakFastBurnMilli {
+					cur.PeakFastBurnMilli = fast
+				}
+				if slow > cur.PeakSlowBurnMilli {
+					cur.PeakSlowBurnMilli = slow
+				}
+			} else {
+				oe.Alerts = append(oe.Alerts, metrics.SLOAlertExport{
+					StartNS: int64(w.start), EndNS: int64(w.end), Windows: 1,
+					PeakFastBurnMilli: fast, PeakSlowBurnMilli: slow,
+				})
+				cur = &oe.Alerts[len(oe.Alerts)-1]
+			}
+		} else {
+			cur = nil
+		}
+	}
+	return oe
+}
+
+// trailingBurn aggregates the burn rate over the n windows ending at index i.
+func trailingBurn(ws []window, i, n int, o Objective) int64 {
+	var bad, total int64
+	for j := i; j > i-n && j >= 0; j-- {
+		bad += ws[j].bad
+		total += ws[j].total
+	}
+	return burnMilli(bad, total, o)
+}

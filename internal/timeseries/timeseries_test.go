@@ -120,6 +120,73 @@ func TestOccupancySnapshot(t *testing.T) {
 	}
 }
 
+// TestExportBeforeAnyTime: a sampler exported at its opening instant has no
+// windows at all — not even a synthesized empty trailing one — and the empty
+// section still validates.
+func TestExportBeforeAnyTime(t *testing.T) {
+	m := testMachine(16, 16)
+	s := New(m, 1*sim.Millisecond, 0)
+	ex := s.Export()
+	if len(ex.Windows) != 0 {
+		t.Fatalf("zero elapsed time produced %d windows", len(ex.Windows))
+	}
+	if ex.WindowNS != int64(1*sim.Millisecond) || ex.DroppedWindows != 0 {
+		t.Fatalf("empty export header wrong: %+v", ex)
+	}
+	if err := metrics.ValidateSections(nil, ex); err != nil {
+		t.Fatalf("empty series does not validate: %v", err)
+	}
+}
+
+// TestZeroAccessMidRunWindow: a window the workload slept through must still
+// be recorded — contiguous with its neighbors, all flow deltas zero, node
+// occupancy carried over — rather than skipped or merged away.
+func TestZeroAccessMidRunWindow(t *testing.T) {
+	m := testMachine(64, 64)
+	s := New(m, 1*sim.Millisecond, 0)
+	as := m.NewSpace()
+	v := as.Mmap(8, false, "x")
+	// Window 0: touch every page. Window 1: pure idle. Window 2: touch again.
+	for i := 0; i < 8; i++ {
+		m.Access(as, v.Start+pagetable.VPN(i), false)
+	}
+	m.Compute(1 * sim.Millisecond) // closes window 0
+	m.Compute(1 * sim.Millisecond) // closes window 1, untouched
+	for i := 0; i < 8; i++ {
+		m.Access(as, v.Start+pagetable.VPN(i), false)
+	}
+	m.Compute(500 * sim.Microsecond)
+	ex := s.Export()
+	if err := metrics.ValidateSections(nil, ex); err != nil {
+		t.Fatalf("series does not validate: %v", err)
+	}
+	if len(ex.Windows) != 3 {
+		t.Fatalf("windows = %d, want 3", len(ex.Windows))
+	}
+	for i := 1; i < len(ex.Windows); i++ {
+		if ex.Windows[i].Start != ex.Windows[i-1].End {
+			t.Fatalf("window %d not contiguous: starts %d after end %d",
+				i, ex.Windows[i].Start, ex.Windows[i-1].End)
+		}
+	}
+	idle := ex.Windows[1]
+	if idle.Accesses() != 0 || idle.Promotions != 0 || idle.Demotions != 0 || idle.PagesScanned != 0 {
+		t.Fatalf("idle window carries flow: %+v", idle)
+	}
+	// Occupancy is a point-in-time snapshot, not a delta: the 8 resident
+	// pages must still show on the idle window's node samples.
+	total := 0
+	for _, ns := range idle.Nodes {
+		total += ns.AnonInactive + ns.AnonActive + ns.AnonPromote
+	}
+	if total != 8 {
+		t.Fatalf("idle window anon occupancy %d, want 8", total)
+	}
+	if ex.Windows[0].Accesses() == 0 || ex.Windows[2].Accesses() == 0 {
+		t.Fatalf("active windows lost their accesses: %+v / %+v", ex.Windows[0], ex.Windows[2])
+	}
+}
+
 // TestMaxWindowsCap: the cap must hold and drops must be counted.
 func TestMaxWindowsCap(t *testing.T) {
 	m := testMachine(16, 16)

@@ -1,0 +1,304 @@
+// Package traceexport renders metrics export documents as deterministic
+// Chrome-trace-event JSON that opens directly in ui.perfetto.dev, merging
+// every recorded signal onto the single virtual-time timeline: per-page
+// lifecycle spans, daemon wakeup passes, migrations with tier labels, page
+// faults, injected-fault windows, and SLO burn-rate alerts.
+//
+// The exporter is post-hoc: it consumes the wire-format []metrics.RunExport
+// (either in-process at the end of a run, or re-read from a metrics JSON
+// file by `mcmetrics perfetto`), so it can never perturb a simulation.
+// Output is byte-deterministic — events are emitted by a hand-written
+// serializer in a fixed structural order with fixed key order, timestamps
+// rendered as exact "<µs>.<ns-remainder>" decimals — so equal exports
+// produce equal trace bytes at every -parallel level.
+//
+// Track/ID stability rules (also documented in DESIGN.md): each run becomes
+// one process, pid = 1 + the run's position in label-sorted order. Within a
+// process, thread IDs are fixed by category, not by appearance order:
+//
+//	tid 1+t    migrations into tier t (topology order; tid 90 when the
+//	           export carries no topology section)
+//	tid 100+i  daemon pass tracks, one per daemon name in sorted order
+//	tid 200    page faults (minor + hint)
+//	tid 210    injected-fault windows
+//	tid 300+i  SLO objective alert tracks, in spec order
+//	tid 1000+i lifecycle page span tracks, in (space, va) order
+//
+// Adding a new category takes a new fixed tid range; existing tids never
+// move, so saved Perfetto UI queries keep working across exporter versions.
+package traceexport
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"multiclock/internal/metrics"
+)
+
+// Fixed thread IDs per category (see the package comment).
+const (
+	tidMigrationBase  = 1   // + tier index
+	tidMigrationFlat  = 90  // no topology section
+	tidDaemonBase     = 100 // + sorted daemon-name index
+	tidFaults         = 200
+	tidInjected       = 210
+	tidSLOBase        = 300 // + objective index
+	tidLifecycleBase  = 1000
+	instantScopeValue = "t" // thread-scoped instants
+)
+
+// Build renders the runs as one Chrome-trace-event JSON document. Runs are
+// label-sorted (the same order metrics.ExportJSON writes), so the same
+// telemetry always yields the same bytes.
+func Build(runs []metrics.RunExport) []byte {
+	sorted := append([]metrics.RunExport(nil), runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Label < sorted[j].Label })
+
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	w := &writer{b: &b}
+	for i := range sorted {
+		emitRun(w, &sorted[i], i+1)
+	}
+	b.WriteString("\n]}\n")
+	return []byte(b.String())
+}
+
+// writer joins events with ",\n" without a trailing comma.
+type writer struct {
+	b   *strings.Builder
+	any bool
+}
+
+func (w *writer) event(s string) {
+	if w.any {
+		w.b.WriteString(",\n")
+	}
+	w.any = true
+	w.b.WriteString(s)
+}
+
+// ts renders virtual nanoseconds as the trace format's microsecond
+// timestamp, exactly: "<µs>.<3-digit ns remainder>".
+func ts(ns int64) string {
+	if ns < 0 {
+		ns = 0
+	}
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// jstr renders s as a JSON string literal without HTML escaping (objective
+// names contain "<", which must stay readable in the Perfetto UI).
+func jstr(s string) string {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(s)
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
+// meta emits a metadata record naming a process or (tid >= 0) a thread.
+func meta(w *writer, pid, tid int, kind, name string) {
+	if tid >= 0 {
+		w.event(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":%q,\"args\":{\"name\":%s}}",
+			pid, tid, kind, jstr(name)))
+		return
+	}
+	w.event(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"name\":%q,\"args\":{\"name\":%s}}",
+		pid, kind, jstr(name)))
+}
+
+// complete emits a complete ("X") event; args must be a JSON object literal
+// or empty.
+func complete(w *writer, pid, tid int, startNS, durNS int64, name, args string) {
+	if durNS < 0 {
+		durNS = 0
+	}
+	if args == "" {
+		args = "{}"
+	}
+	w.event(fmt.Sprintf("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%s,\"args\":%s}",
+		pid, tid, ts(startNS), ts(durNS), jstr(name), args))
+}
+
+// instant emits a thread-scoped instant ("i") event.
+func instant(w *writer, pid, tid int, atNS int64, name, args string) {
+	if args == "" {
+		args = "{}"
+	}
+	w.event(fmt.Sprintf("{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"s\":%q,\"name\":%s,\"args\":%s}",
+		pid, tid, ts(atNS), instantScopeValue, jstr(name), args))
+}
+
+// counter emits a counter ("C") event.
+func counter(w *writer, pid int, atNS int64, name string, value int64) {
+	w.event(fmt.Sprintf("{\"ph\":\"C\",\"pid\":%d,\"ts\":%s,\"name\":%s,\"args\":{\"value\":%d}}",
+		pid, ts(atNS), jstr(name), value))
+}
+
+// emitRun renders one run as one trace process.
+func emitRun(w *writer, run *metrics.RunExport, pid int) {
+	meta(w, pid, -1, "process_name", run.Label)
+
+	tierOfNode, tierNames := tierMap(run)
+	daemons := daemonNames(run)
+
+	// Thread metadata first, in tid order, so the track layout is explicit
+	// even for categories that end up with no events.
+	if len(tierNames) > 0 {
+		for t, name := range tierNames {
+			meta(w, pid, tidMigrationBase+t, "thread_name", "migrations → "+name)
+		}
+	} else {
+		meta(w, pid, tidMigrationFlat, "thread_name", "migrations")
+	}
+	for i, d := range daemons {
+		meta(w, pid, tidDaemonBase+i, "thread_name", "daemon "+d)
+	}
+	meta(w, pid, tidFaults, "thread_name", "page faults")
+	meta(w, pid, tidInjected, "thread_name", "injected faults")
+	if run.SLO != nil {
+		for i, o := range run.SLO.Objectives {
+			meta(w, pid, tidSLOBase+i, "thread_name", "slo "+o.Name)
+		}
+	}
+	if run.Lifecycle != nil {
+		for i, p := range run.Lifecycle.Pages {
+			meta(w, pid, tidLifecycleBase+i, "thread_name",
+				fmt.Sprintf("page %d/0x%x", p.Space, p.VA))
+		}
+	}
+
+	// Structured trace events: migrations, daemon passes, page faults.
+	if run.Trace != nil {
+		daemonTid := make(map[string]int, len(daemons))
+		for i, d := range daemons {
+			daemonTid[d] = tidDaemonBase + i
+		}
+		for _, ev := range run.Trace.Events {
+			switch ev.Kind {
+			case "promote", "demote":
+				tid := tidMigrationFlat
+				dstTier := ""
+				if t, ok := tierOfNode[ev.To]; ok {
+					tid = tidMigrationBase + t
+					dstTier = tierNames[t]
+				}
+				args := fmt.Sprintf("{\"from_node\":%d,\"to_node\":%d,\"pages\":%d",
+					ev.From, ev.To, ev.Pages)
+				if dstTier != "" {
+					srcTier := ""
+					if t, ok := tierOfNode[ev.From]; ok {
+						srcTier = tierNames[t]
+					}
+					args += fmt.Sprintf(",\"from_tier\":%s,\"to_tier\":%s",
+						jstr(srcTier), jstr(dstTier))
+				}
+				args += "}"
+				instant(w, pid, tid, ev.At, ev.Kind, args)
+			case "scan":
+				start := ev.At - ev.Work
+				complete(w, pid, daemonTid[ev.Name], start, ev.Work,
+					ev.Name+" pass", fmt.Sprintf("{\"work_ns\":%d}", ev.Work))
+			case "fault", "hint-fault":
+				instant(w, pid, tidFaults, ev.At, ev.Kind,
+					fmt.Sprintf("{\"va\":\"0x%x\"}", ev.VA))
+			}
+		}
+	}
+
+	// Injected degradation windows.
+	if run.Faults != nil {
+		for _, fw := range run.Faults.Windows {
+			complete(w, pid, tidInjected, fw.StartNS, fw.EndNS-fw.StartNS, fw.Kind, "")
+		}
+	}
+
+	// SLO burn-rate alerts, one track per objective.
+	if run.SLO != nil {
+		for i, o := range run.SLO.Objectives {
+			for _, a := range o.Alerts {
+				complete(w, pid, tidSLOBase+i, a.StartNS, a.EndNS-a.StartNS,
+					"burn-rate alert",
+					fmt.Sprintf("{\"windows\":%d,\"peak_fast_burn_milli\":%d,\"peak_slow_burn_milli\":%d}",
+						a.Windows, a.PeakFastBurnMilli, a.PeakSlowBurnMilli))
+			}
+		}
+	}
+
+	// Lifecycle spans: each state is a complete event lasting until the next
+	// transition; the final state (no known end) renders as an instant.
+	if run.Lifecycle != nil {
+		for i, p := range run.Lifecycle.Pages {
+			tid := tidLifecycleBase + i
+			for j, ev := range p.Events {
+				args := fmt.Sprintf("{\"reason\":%s,\"node\":%d}", jstr(ev.Reason), ev.Node)
+				if j+1 < len(p.Events) {
+					complete(w, pid, tid, ev.At, p.Events[j+1].At-ev.At, ev.State, args)
+				} else {
+					instant(w, pid, tid, ev.At, ev.State, args)
+				}
+			}
+		}
+	}
+
+	// Time-series windows as counter tracks: per-node free frames and the
+	// window's DRAM hit ratio (ppm), stamped at each window's end.
+	if run.Series != nil {
+		for _, win := range run.Series.Windows {
+			for _, n := range win.Nodes {
+				counter(w, pid, win.End,
+					fmt.Sprintf("free_frames node%d (%s)", n.Node, n.Tier), int64(n.Free))
+			}
+			hitPPM := int64(0)
+			if total := win.Accesses(); total > 0 {
+				hitPPM = (win.ReadsDRAM + win.WritesDRAM) * 1_000_000 / total
+			}
+			counter(w, pid, win.End, "dram_hit_ppm", hitPPM)
+		}
+	}
+}
+
+// tierMap resolves the run's topology section into node→tier-index and the
+// tier name list (unique tiers in node order). Empty when the run carries no
+// topology.
+func tierMap(run *metrics.RunExport) (map[int]int, []string) {
+	if len(run.Topology) == 0 {
+		return nil, nil
+	}
+	nodeTier := make(map[int]int, len(run.Topology))
+	var names []string
+	index := map[string]int{}
+	for _, nt := range run.Topology {
+		t, ok := index[nt.Tier]
+		if !ok {
+			t = len(names)
+			index[nt.Tier] = t
+			names = append(names, nt.Tier)
+		}
+		nodeTier[nt.Node] = t
+	}
+	return nodeTier, names
+}
+
+// daemonNames collects the sorted distinct daemon names from scan events.
+func daemonNames(run *metrics.RunExport) []string {
+	if run.Trace == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, ev := range run.Trace.Events {
+		if ev.Kind == "scan" && ev.Name != "" && !seen[ev.Name] {
+			seen[ev.Name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

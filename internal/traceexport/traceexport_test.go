@@ -1,0 +1,209 @@
+package traceexport
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"multiclock/internal/metrics"
+)
+
+// syntheticRun builds a run export exercising every trace category.
+func syntheticRun(label string) metrics.RunExport {
+	return metrics.RunExport{
+		Label: label,
+		Now:   20_000_000,
+		Topology: []metrics.NodeTier{
+			{Node: 0, Tier: "dram"}, {Node: 1, Tier: "pm"}, {Node: 2, Tier: "pm"},
+		},
+		Trace: &metrics.TraceExport{
+			Capacity: 16,
+			Events: []metrics.EventExport{
+				{At: 1_000, Kind: "fault", From: -1, To: -1, VA: 0x1000},
+				{At: 2_500, Kind: "promote", From: 1, To: 0, Pages: 1},
+				{At: 4_000, Kind: "scan", From: -1, To: -1, Name: "kpromoted", Work: 1_500},
+				{At: 6_000, Kind: "demote", From: 0, To: 2, Pages: 3},
+				{At: 7_000, Kind: "hint-fault", From: -1, To: -1, VA: 0x2000},
+				{At: 9_000, Kind: "scan", From: -1, To: -1, Name: "kswapd", Work: 2_000},
+			},
+		},
+		Lifecycle: &metrics.LifecycleExport{
+			SampleMod: 1, MaxPages: 8, MaxEventsPerPage: 8,
+			Pages: []metrics.PageTimeline{
+				{Space: 1, VA: 0x1000, Migrations: 1, Events: []metrics.SpanEvent{
+					{At: 1_000, State: "inactive", Reason: "birth", Node: 1},
+					{At: 2_500, State: "active", Reason: "promoted", Node: 0},
+				}},
+			},
+		},
+		Series: &metrics.SeriesExport{
+			WindowNS: 10_000_000,
+			Windows: []metrics.WindowExport{{
+				Index: 0, Start: 0, End: 10_000_000,
+				Nodes: []metrics.NodeSample{
+					{Node: 0, Tier: "dram", Free: 100},
+					{Node: 1, Tier: "pm", Free: 900},
+				},
+				ReadsDRAM: 75, ReadsPM: 25,
+			}},
+		},
+		Faults: &metrics.FaultsExport{
+			Windows: []metrics.FaultWindowExport{
+				{Kind: "pm-slowdown", StartNS: 3_000, EndNS: 5_003_000},
+				{Kind: "alloc-storm", StartNS: 8_000_000, EndNS: 10_000_000},
+			},
+		},
+		SLO: &metrics.SLOExport{
+			Spec: "p99(lat_ns) < 1µs over 1ms, 99.9%",
+			Objectives: []metrics.SLOObjectiveExport{{
+				Name: "p99(lat_ns) < 1µs over 1ms, 99.9%", Metric: "lat_ns",
+				QuantilePPM: 990_000, ThresholdNS: 1_000, WindowNS: 1_000_000,
+				TargetPPM: 999_000, BurnThresholdMilli: 6_000,
+				Windows: 20, CompliantWindows: 17, TotalEvents: 2_000, BadEvents: 150,
+				CompliancePPM: 850_000, BudgetBurnMilli: 7_500,
+				Alerts: []metrics.SLOAlertExport{
+					{StartNS: 6_000_000, EndNS: 9_000_000, Windows: 3,
+						PeakFastBurnMilli: 50_000, PeakSlowBurnMilli: 8_000},
+				},
+			}},
+		},
+	}
+}
+
+func TestBuildIsValidJSONWithAllCategories(t *testing.T) {
+	out := Build([]metrics.RunExport{syntheticRun("mcsim/multiclock")})
+	var doc struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// Every category must be present on the timeline.
+	for _, want := range []string{
+		`"process_name"`, `"migrations → dram"`, `"migrations → pm"`,
+		`"daemon kpromoted"`, `"daemon kswapd"`, `"kpromoted pass"`,
+		`"page faults"`, `"injected faults"`, `"pm-slowdown"`, `"alloc-storm"`,
+		`"burn-rate alert"`, `"page 1/0x1000"`, `"inactive"`, `"active"`,
+		`"promote"`, `"demote"`, `"hint-fault"`, `"dram_hit_ppm"`,
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+	// Well-formed events: every non-metadata record carries a timestamp;
+	// complete events carry durations.
+	for _, ev := range doc.TraceEvents {
+		ph := ev["ph"].(string)
+		if ph == "M" {
+			continue
+		}
+		if _, ok := ev["ts"]; !ok {
+			t.Fatalf("event without ts: %v", ev)
+		}
+		if ph == "X" {
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("complete event without dur: %v", ev)
+			}
+		}
+	}
+}
+
+func TestTimestampRendering(t *testing.T) {
+	// 2500 ns = 2.500 µs; 1_000_000 ns = 1000.000 µs; clamped negatives.
+	for _, c := range []struct {
+		ns   int64
+		want string
+	}{{0, "0.000"}, {1, "0.001"}, {999, "0.999"}, {2_500, "2.500"},
+		{1_000_000, "1000.000"}, {-5, "0.000"}} {
+		if got := ts(c.ns); got != c.want {
+			t.Fatalf("ts(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestStableTrackIDs(t *testing.T) {
+	out := string(Build([]metrics.RunExport{syntheticRun("a")}))
+	// The tier tracks take tid 1+tierIndex; daemons 100+sortedIndex; the
+	// objective track 300; the lifecycle page 1000. Pinned so saved UI
+	// queries survive exporter changes.
+	for _, want := range []string{
+		`{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"migrations → dram"}}`,
+		`{"ph":"M","pid":1,"tid":2,"name":"thread_name","args":{"name":"migrations → pm"}}`,
+		`{"ph":"M","pid":1,"tid":100,"name":"thread_name","args":{"name":"daemon kpromoted"}}`,
+		`{"ph":"M","pid":1,"tid":101,"name":"thread_name","args":{"name":"daemon kswapd"}}`,
+		`{"ph":"M","pid":1,"tid":200,"name":"thread_name","args":{"name":"page faults"}}`,
+		`{"ph":"M","pid":1,"tid":210,"name":"thread_name","args":{"name":"injected faults"}}`,
+		`{"ph":"M","pid":1,"tid":300,"name":"thread_name","args":{"name":"slo p99(lat_ns) < 1µs over 1ms, 99.9%"}}`,
+		`{"ph":"M","pid":1,"tid":1000,"name":"thread_name","args":{"name":"page 1/0x1000"}}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing pinned track metadata %s", want)
+		}
+	}
+}
+
+func TestRunsSortByLabelForStablePIDs(t *testing.T) {
+	a := Build([]metrics.RunExport{syntheticRun("zeta"), syntheticRun("alpha")})
+	b := Build([]metrics.RunExport{syntheticRun("alpha"), syntheticRun("zeta")})
+	if !bytes.Equal(a, b) {
+		t.Fatal("input order leaked into the trace bytes")
+	}
+	if !strings.Contains(string(a),
+		`{"ph":"M","pid":1,"name":"process_name","args":{"name":"alpha"}}`) {
+		t.Fatal("label-sorted first run did not take pid 1")
+	}
+	if !strings.Contains(string(a),
+		`{"ph":"M","pid":2,"name":"process_name","args":{"name":"zeta"}}`) {
+		t.Fatal("label-sorted second run did not take pid 2")
+	}
+}
+
+func TestNoTopologyFallsBackToFlatMigrationTrack(t *testing.T) {
+	run := syntheticRun("x")
+	run.Topology = nil
+	out := string(Build([]metrics.RunExport{run}))
+	if !strings.Contains(out, `{"ph":"M","pid":1,"tid":90,"name":"thread_name","args":{"name":"migrations"}}`) {
+		t.Fatal("flat migration track missing")
+	}
+	if strings.Contains(out, "migrations → ") {
+		t.Fatal("tier tracks present without a topology section")
+	}
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	runs := []metrics.RunExport{syntheticRun("a"), syntheticRun("b")}
+	if !bytes.Equal(Build(runs), Build(runs)) {
+		t.Fatal("equal inputs produced different trace bytes")
+	}
+}
+
+func TestScanPassStartClampsToZero(t *testing.T) {
+	run := metrics.RunExport{
+		Label: "x",
+		Trace: &metrics.TraceExport{
+			Capacity: 4,
+			Events: []metrics.EventExport{
+				// Work exceeds the event timestamp: the pass started before
+				// t=0 on the recorded timeline; its start clamps to zero.
+				{At: 500, Kind: "scan", Name: "kpromoted", Work: 2_000},
+			},
+		},
+	}
+	out := string(Build([]metrics.RunExport{run}))
+	if !strings.Contains(out, `"ts":0.000,"dur":2.000,"name":"kpromoted pass"`) {
+		t.Fatalf("clamped pass not found:\n%s", out)
+	}
+}
+
+func TestEmptyExport(t *testing.T) {
+	out := Build(nil)
+	var doc map[string]interface{}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("empty build is not JSON: %v\n%s", err, out)
+	}
+}

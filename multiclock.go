@@ -36,8 +36,10 @@ import (
 	"multiclock/internal/pagecache"
 	"multiclock/internal/pagetable"
 	"multiclock/internal/sim"
+	"multiclock/internal/slo"
 	"multiclock/internal/timeseries"
 	"multiclock/internal/trace"
+	"multiclock/internal/traceexport"
 	"multiclock/internal/ycsb"
 )
 
@@ -183,6 +185,8 @@ type System struct {
 	m        *machine.Machine
 	pol      machine.Policy
 	samplers []*timeseries.Sampler
+	metrics  *metrics.Collector
+	slos     []*slo.Engine
 }
 
 // NewSystem builds a machine per cfg with the policy attached and its
@@ -272,6 +276,9 @@ func (s *System) Stop() {
 	}
 	for _, sp := range s.samplers {
 		sp.Stop()
+	}
+	for _, e := range s.slos {
+		e.Stop()
 	}
 }
 
@@ -372,6 +379,7 @@ func (s *System) EnableMetrics(traceEvents int) *Metrics {
 	c := metrics.NewCollector(metrics.NewRegistry(traceEvents)).Bind(s.m)
 	s.m.SetMetrics(c)
 	s.Attach(c)
+	s.metrics = c
 	return c
 }
 
@@ -379,6 +387,70 @@ func (s *System) EnableMetrics(traceEvents int) *Metrics {
 // Metrics.Run) as the canonical deterministic JSON document.
 func ExportMetricsJSON(runs ...metrics.RunExport) ([]byte, error) {
 	return metrics.ExportJSON(runs...)
+}
+
+// SLO re-exports: declarative virtual-time latency objectives with
+// Google-SRE multi-window multi-burn-rate alerting.
+type (
+	// SLOEngine evaluates a parsed objective spec against the metrics
+	// collector's histograms on fixed virtual-time windows. Passive like
+	// every observability layer: it never advances the clock.
+	SLOEngine = slo.Engine
+	// SLOSpec is a parsed set of objectives (see ParseSLOSpec).
+	SLOSpec = slo.Spec
+	// SLOResult is the exported evaluation section a MetricsRun carries
+	// (run.SLO = engine.Export()).
+	SLOResult = metrics.SLOExport
+)
+
+// ParseSLOSpec parses a declarative objective spec, e.g.
+// "p99(access_latency_dram_read_ns) < 400ns over 10ms, 99.9%"; objectives
+// are ';'-separated and the compliance target defaults to 99.9%.
+func ParseSLOSpec(spec string) (*SLOSpec, error) { return slo.Parse(spec) }
+
+// EnableSLO parses spec and starts an SLO engine over the system's metrics
+// registry; EnableMetrics must have run first (the engine evaluates the
+// collector's histograms). Attach the result to a MetricsRun via
+// run.SLO = engine.Export(); render it with FormatSLOReport.
+func (s *System) EnableSLO(spec string) (*SLOEngine, error) {
+	if s.metrics == nil {
+		return nil, fmt.Errorf("multiclock: EnableSLO needs EnableMetrics first")
+	}
+	sp, err := slo.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	eng := slo.New(s.m.Clock, s.metrics.Registry(), sp, 0)
+	s.slos = append(s.slos, eng)
+	return eng, nil
+}
+
+// FormatSLOReport renders one run's SLO section as the human-readable
+// compliance/burn-rate report (the same rendering `mcmetrics slo` prints).
+func FormatSLOReport(label string, res *SLOResult) string { return slo.Format(label, res) }
+
+// EnableTraceRecording turns on the extra recording that only the Perfetto
+// trace export consumes — today the injected-fault window log (topology
+// needs no recording). Call before running the workload; attach the
+// sections afterwards with AttachTraceSections.
+func (s *System) EnableTraceRecording() {
+	s.m.Faults.EnableWindowLog(0)
+}
+
+// AttachTraceSections fills run's node→tier topology and injected-fault
+// window sections from the system, so ExportPerfettoJSON can label
+// migration tracks and draw fault windows.
+func (s *System) AttachTraceSections(run *MetricsRun) {
+	run.Topology = metrics.TopologyOf(s.m)
+	run.Faults = metrics.FaultsOf(s.m)
+}
+
+// ExportPerfettoJSON renders labeled metric snapshots as one deterministic
+// Chrome-trace-event JSON document that opens in ui.perfetto.dev, merging
+// migrations, daemon passes, page faults, lifecycle spans, injected-fault
+// windows and SLO burn-rate alerts onto the virtual-time timeline.
+func ExportPerfettoJSON(runs ...metrics.RunExport) []byte {
+	return traceexport.Build(runs)
 }
 
 // Observability re-exports: per-page lifecycle span tracing and windowed
